@@ -1,0 +1,17 @@
+"""Design-choice ablations beyond the paper's figures (EWMA alpha, footprint size, retries)."""
+
+from conftest import BENCH_DURATION_MS, BENCH_TERMINALS
+
+from repro.bench.experiments import extra_design_ablations
+
+
+def test_extra_design_ablations(benchmark):
+    result = benchmark.pedantic(
+        lambda: extra_design_ablations(duration_ms=BENCH_DURATION_MS,
+                                       terminals=BENCH_TERMINALS, report=True),
+        rounds=1, iterations=1)
+    # Every configuration must still produce useful throughput — these knobs
+    # trade accuracy for overhead, they must not break the system.
+    for knob, points in result.items():
+        for _value, throughput in points:
+            assert throughput > 0, f"{knob} produced zero throughput"

@@ -1,0 +1,21 @@
+"""Figure 1b — impact of the DM-DS2 latency on centralized transactions."""
+
+from conftest import BENCH_DURATION_MS
+
+from repro.bench.experiments import fig1_motivation
+
+
+def test_fig1b_motivation(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig1_motivation(ds2_latencies_ms=(20, 60, 100),
+                                duration_ms=BENCH_DURATION_MS, terminals=8,
+                                report=True),
+        rounds=1, iterations=1)
+    lc = dict(result["series"]["LC"])
+    mc = dict(result["series"]["MC"])
+    # Centralized transactions must be hurt more by the distant DS2 latency
+    # under medium contention than under low contention (the paper's motivation).
+    lc_growth = lc[100] - lc[20]
+    mc_growth = mc[100] - mc[20]
+    assert mc_growth > lc_growth
+    assert mc[100] > mc[20]

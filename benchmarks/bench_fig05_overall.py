@@ -1,0 +1,32 @@
+"""Figure 5 — overall throughput comparison on YCSB and TPC-C."""
+
+from conftest import BENCH_DURATION_MS
+
+from repro.bench.experiments import fig5_overall
+
+
+def _final_throughput(series):
+    return {system: points[-1][1] for system, points in series.items()}
+
+
+def test_fig5a_overall_ycsb(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig5_overall(workload="ycsb", terminal_counts=(16, 64),
+                             duration_ms=BENCH_DURATION_MS, report=True),
+        rounds=1, iterations=1)
+    tput = _final_throughput(result["series"])
+    # GeoTP dominates SSP and ScalarDB; ScalarDB+ clearly improves on ScalarDB.
+    assert tput["geotp"] > tput["ssp"]
+    assert tput["geotp"] > tput["scalardb"]
+    assert tput["scalardb_plus"] > tput["scalardb"]
+
+
+def test_fig5b_overall_tpcc(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig5_overall(workload="tpcc", terminal_counts=(16, 64),
+                             systems=("ssp", "scalardb", "scalardb_plus", "geotp"),
+                             duration_ms=BENCH_DURATION_MS, report=True),
+        rounds=1, iterations=1)
+    tput = _final_throughput(result["series"])
+    assert tput["geotp"] > tput["ssp"]
+    assert tput["scalardb_plus"] > tput["scalardb"]

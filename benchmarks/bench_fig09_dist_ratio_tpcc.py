@@ -1,0 +1,21 @@
+"""Figure 9 — TPC-C Payment and NewOrder under varying distributed ratios."""
+
+from conftest import BENCH_DURATION_MS, BENCH_TERMINALS
+
+from repro.bench.experiments import fig9_distributed_ratio_tpcc
+
+
+def test_fig9_tpcc_payment_neworder(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig9_distributed_ratio_tpcc(
+            ratios=(0.2, 1.0), systems=("ssp", "geotp"),
+            duration_ms=BENCH_DURATION_MS, terminals=BENCH_TERMINALS, report=True),
+        rounds=1, iterations=1)
+    for txn_type in ("payment", "new_order"):
+        geotp = {r: (t, l) for r, t, l in result[txn_type]["geotp"]}
+        ssp = {r: (t, l) for r, t, l in result[txn_type]["ssp"]}
+        for ratio in (0.2, 1.0):
+            geotp_tput, geotp_latency = geotp[ratio]
+            ssp_tput, ssp_latency = ssp[ratio]
+            assert geotp_tput > ssp_tput
+            assert geotp_latency < ssp_latency

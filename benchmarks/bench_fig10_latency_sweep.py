@@ -1,0 +1,22 @@
+"""Figure 10 — sensitivity to the mean and standard deviation of network latency."""
+
+from conftest import BENCH_DURATION_MS, BENCH_TERMINALS
+
+from repro.bench.experiments import fig10_latency_sweep
+
+
+def test_fig10_latency_mean_and_std(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig10_latency_sweep(means_ms=(20, 80), stds_ms=(0, 40),
+                                    duration_ms=BENCH_DURATION_MS,
+                                    terminals=BENCH_TERMINALS, report=True),
+        rounds=1, iterations=1)
+    mean_sweep = {mean: improvement for mean, _s, _g, improvement in result["mean_sweep"]}
+    std_sweep = {std: improvement for std, _s, _g, improvement in result["std_sweep"]}
+    # GeoTP improves on SSP (clearly so at the larger mean latency, where the
+    # paper's improvement also peaks) and benefits from latency variance.
+    assert all(improvement > 0.9 for improvement in mean_sweep.values())
+    assert mean_sweep[80] > 1.0
+    assert mean_sweep[80] >= mean_sweep[20] * 0.7
+    assert all(improvement > 0.9 for improvement in std_sweep.values())
+    assert std_sweep[max(std_sweep)] >= 1.0

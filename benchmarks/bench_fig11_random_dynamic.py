@@ -1,0 +1,26 @@
+"""Figure 11 — random per-message latency and online adaptivity to latency changes."""
+
+from conftest import BENCH_DURATION_MS, BENCH_TERMINALS
+
+from repro.bench.experiments import fig11_dynamic_latency, fig11_random_latency
+
+
+def test_fig11a_random_latency(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig11_random_latency(ratios=(0.2, 1.0), repeats=2,
+                                     duration_ms=BENCH_DURATION_MS,
+                                     terminals=BENCH_TERMINALS, report=True),
+        rounds=1, iterations=1)
+    geotp = {ratio: mean for ratio, mean, _lo, _hi in result["geotp"]}
+    ssp = {ratio: mean for ratio, mean, _lo, _hi in result["ssp"]}
+    for ratio in (0.2, 1.0):
+        assert geotp[ratio] > ssp[ratio]
+
+
+def test_fig11b_dynamic_latency(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig11_dynamic_latency(phase_ms=5_000.0, phases=3,
+                                      terminals=BENCH_TERMINALS, report=True),
+        rounds=1, iterations=1)
+    assert result["geotp"]["throughput_tps"] > result["ssp"]["throughput_tps"]
+    assert len(result["geotp"]["timeline"]) > 0

@@ -1,0 +1,28 @@
+"""Figure 12 — ablation of the three GeoTP optimizations across skew factors."""
+
+from conftest import BENCH_DURATION_MS, BENCH_TERMINALS
+
+from repro.bench.experiments import fig12_ablation
+
+
+def test_fig12_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig12_ablation(skews=(0.3, 0.9, 1.5),
+                               duration_ms=BENCH_DURATION_MS,
+                               terminals=BENCH_TERMINALS, report=True),
+        rounds=1, iterations=1)
+
+    def tput(variant, skew):
+        return {s: t for s, t, _p99, _abort in result[variant]}[skew]
+
+    # Every GeoTP variant beats SSP at low and medium contention; at the most
+    # extreme skew all systems can collapse within a short window, so the
+    # comparison there is non-strict.
+    for skew in (0.3, 0.9):
+        assert tput("geotp_o1", skew) > tput("ssp", skew)
+        assert tput("geotp_o1_o2", skew) > tput("ssp", skew)
+        assert tput("geotp_o1_o3", skew) > tput("ssp", skew)
+    assert tput("geotp_o1_o3", 1.5) >= tput("ssp", 1.5)
+    # The high-contention optimizations matter most at high skew: O1~O3 should
+    # not lose to O1 alone there.
+    assert tput("geotp_o1_o3", 1.5) >= tput("geotp_o1", 1.5) * 0.9

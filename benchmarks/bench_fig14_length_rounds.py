@@ -1,0 +1,26 @@
+"""Figure 14 — impact of transaction length and client interaction rounds."""
+
+from conftest import BENCH_DURATION_MS, BENCH_TERMINALS
+
+from repro.bench.experiments import fig14_length_and_rounds
+
+
+def test_fig14_length_and_rounds(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig14_length_and_rounds(lengths=(5, 25), rounds=(1, 6),
+                                        duration_ms=BENCH_DURATION_MS,
+                                        terminals=BENCH_TERMINALS, report=True),
+        rounds=1, iterations=1)
+    length = result["length"]
+    geotp_by_length = dict(length["geotp"])
+    ssp_by_length = dict(length["ssp"])
+    # Throughput decreases with transaction length for both systems; GeoTP stays ahead.
+    assert geotp_by_length[25] <= geotp_by_length[5]
+    assert ssp_by_length[25] <= ssp_by_length[5]
+    assert geotp_by_length[5] > ssp_by_length[5]
+
+    rounds_medium = result["rounds"]["medium"]
+    geotp_rounds = dict(rounds_medium["geotp"])
+    ssp_rounds = dict(rounds_medium["ssp"])
+    # With many interaction rounds GeoTP's advantage persists (Fig. 14c).
+    assert geotp_rounds[6] > ssp_rounds[6]

@@ -1,0 +1,20 @@
+"""Table I — heterogeneous MySQL / PostgreSQL deployments."""
+
+from conftest import BENCH_DURATION_MS, BENCH_TERMINALS
+
+from repro.bench.experiments import table1_heterogeneous
+
+
+def test_table1_heterogeneous_deployments(benchmark):
+    result = benchmark.pedantic(
+        lambda: table1_heterogeneous(ratios=(0.25, 0.75),
+                                     duration_ms=BENCH_DURATION_MS,
+                                     terminals=BENCH_TERMINALS, report=True),
+        rounds=1, iterations=1)
+    for scenario in ("S1", "S2", "S3"):
+        for ratio in (0.25, 0.75):
+            geotp = result[scenario][("geotp", ratio)]
+            ssp = result[scenario][("ssp", ratio)]
+            # GeoTP wins on throughput and latency in every deployment, as in Table I.
+            assert geotp["throughput_tps"] > ssp["throughput_tps"]
+            assert geotp["avg_latency_ms"] < ssp["avg_latency_ms"]

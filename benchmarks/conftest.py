@@ -1,0 +1,14 @@
+"""Shared scale settings for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures at a reduced
+scale (shorter measurement window, fewer terminals, fewer sweep points) so the
+whole suite finishes in a few minutes on a laptop.  EXPERIMENTS.md records a
+full-scale run produced with the same experiment functions.
+"""
+
+#: Simulated milliseconds per experiment point.  High-contention points need a
+#: window several times longer than the 5 s lock-wait timeout to accumulate a
+#: meaningful number of commits.
+BENCH_DURATION_MS = 20_000.0
+#: Client terminals per experiment point.
+BENCH_TERMINALS = 32

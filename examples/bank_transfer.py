@@ -1,0 +1,89 @@
+"""Cross-border bank transfer: driving individual transactions by hand.
+
+This example mirrors the running example of the paper's introduction and
+Figure 3: Alice's account lives in a MySQL data source in Singapore, Bob's in a
+PostgreSQL data source in Beijing, and a money transfer must update both
+atomically.  Instead of the experiment runner it uses the lower-level cluster
+API, submits explicit transactions (including one written as SQL text fed to
+the parser) and inspects the resulting balances and latency.
+
+Usage::
+
+    python examples/bank_transfer.py
+"""
+
+from repro import TopologyConfig, TransactionSpec, build_cluster
+from repro.cluster.topology import DataNodeSpec, MiddlewareSpec
+from repro.common import Operation, OpType
+from repro.middleware import ModuloPartitioner, SqlParser
+
+
+def build_bank_cluster(system: str):
+    topology = TopologyConfig(
+        data_nodes=[
+            DataNodeSpec(name="ds0", region="beijing", dialect="postgresql"),
+            DataNodeSpec(name="ds1", region="singapore", dialect="mysql"),
+        ],
+        middlewares=[MiddlewareSpec(name="dm", region="beijing")],
+    )
+    partitioner = ModuloPartitioner(topology.node_names())
+    cluster = build_cluster(system, topology, partitioner)
+    # Accounts: even-numbered accounts live in Beijing, odd ones in Singapore.
+    cluster.datasources["ds0"].load_table("savings", {0: {"balance": 1000}})   # Bob
+    cluster.datasources["ds1"].load_table("savings", {1: {"balance": 500}})    # Alice
+    return cluster, partitioner
+
+
+def transfer_spec(amount: int) -> TransactionSpec:
+    """Alice (account 1, Singapore) sends ``amount`` to Bob (account 0, Beijing)."""
+    operations = [
+        Operation(OpType.UPDATE, "savings", 1, value={"balance": 500 - amount}),
+        Operation(OpType.UPDATE, "savings", 0, value={"balance": 1000 + amount}),
+    ]
+    return TransactionSpec.from_operations(operations, txn_type="transfer")
+
+
+def run_transfer(system: str) -> None:
+    cluster, _partitioner = build_bank_cluster(system)
+    env = cluster.env
+    middleware = cluster.middleware
+
+    # One transfer built programmatically...
+    proc = middleware.submit(transfer_spec(100))
+    env.run(until=proc)
+    result = proc.value
+
+    # ...and one written as annotated SQL, going through the parser.
+    parser = SqlParser()
+    sql_spec = parser.parse_transaction([
+        "BEGIN;",
+        "UPDATE savings SET balance = 350 WHERE key = 1;",
+        "UPDATE savings SET balance = 1150 WHERE key = 0 /*+ LAST */;",
+        "COMMIT;",
+    ], txn_type="transfer")
+    proc2 = middleware.submit(sql_spec)
+    env.run(until=proc2)
+    result2 = proc2.value
+
+    def balance_of(node, account):
+        value = cluster.datasources[node].engine.read("probe", "savings", account).value
+        # Programmatic transfers store a row dict; the SQL path stores the bare
+        # column value the parser extracted.
+        return value["balance"] if isinstance(value, dict) else value
+
+    print(f"[{system:5s}] transfer #1: {result.outcome.value} in {result.latency_ms:.1f} ms, "
+          f"transfer #2: {result2.outcome.value} in {result2.latency_ms:.1f} ms")
+    print(f"        balances afterwards: Bob={balance_of('ds0', 0)}  "
+          f"Alice={balance_of('ds1', 1)}")
+
+
+def main() -> None:
+    print("Cross-border transfer: Beijing (PostgreSQL) <-> Singapore (MySQL)\n")
+    for system in ("ssp", "geotp"):
+        run_transfer(system)
+    print("\nGeoTP commits the same distributed transfer roughly one WAN round "
+          "trip faster than the XA baseline (decentralized prepare).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Quickstart: compare GeoTP against the SSP baseline on YCSB.
+
+Runs two short simulated experiments on the paper's default four-region
+topology (Beijing / Shanghai / Singapore / London) and prints throughput,
+latency and abort rate side by side.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import ExperimentConfig, YCSBConfig, run_experiment
+from repro.bench.report import print_table
+
+
+def main() -> None:
+    ycsb = YCSBConfig(skew=0.9, distributed_ratio=0.2)
+    rows = []
+    for system in ("ssp", "geotp"):
+        config = ExperimentConfig(
+            system=system,
+            workload="ycsb",
+            ycsb=ycsb,
+            terminals=32,
+            duration_ms=15_000,
+            warmup_ms=3_000,
+        )
+        result = run_experiment(config)
+        rows.append((system,
+                     round(result.throughput_tps, 1),
+                     round(result.average_latency_ms, 1),
+                     round(result.p99_latency_ms, 1),
+                     round(result.abort_rate * 100, 1)))
+
+    print_table("GeoTP vs SSP — YCSB, medium contention, 20% distributed",
+                ["system", "throughput (txn/s)", "avg latency (ms)",
+                 "p99 latency (ms)", "abort rate (%)"], rows)
+
+    ssp_tput, geotp_tput = rows[0][1], rows[1][1]
+    if ssp_tput > 0:
+        print(f"\nGeoTP / SSP throughput ratio: {geotp_tput / ssp_tput:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

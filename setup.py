@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that the
+package can be installed editable on environments whose setuptools/pip lack
+PEP 660 support (``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""GeoTP reproduction: latency-aware geo-distributed transaction processing.
+
+This package reproduces, on a discrete-event simulated substrate, the system
+and evaluation of *GeoTP: Latency-aware Geo-Distributed Transaction Processing
+in Database Middlewares* (ICDE 2025).  The public API is small:
+
+* :class:`ExperimentConfig` / :func:`run_experiment` — run one experiment point
+  (system x workload x topology) and get throughput / latency / abort metrics;
+* :class:`TopologyConfig` — describe where middlewares and data sources live;
+* :class:`YCSBConfig` / :class:`TPCCConfig` — workload knobs;
+* :class:`GeoTPConfig` — the O1/O2/O3 switches of GeoTP itself;
+* :func:`build_cluster` — lower-level access to a wired simulated cluster for
+  users who want to drive transactions themselves.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.bench.runner import ExperimentConfig, ExperimentResult, run_experiment
+from repro.baselines.scalardb import ScalarDBConfig
+from repro.cluster.deployment import Cluster, SUPPORTED_SYSTEMS, build_cluster
+from repro.cluster.topology import DataNodeSpec, MiddlewareSpec, TopologyConfig
+from repro.common import (
+    AbortReason,
+    Operation,
+    OpType,
+    TransactionResult,
+    TxnOutcome,
+)
+from repro.core.config import GeoTPConfig
+from repro.middleware.statements import Statement, TransactionSpec
+from repro.workloads.tpcc import TPCCConfig
+from repro.workloads.ycsb import CONTENTION_SKEW, YCSBConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbortReason",
+    "CONTENTION_SKEW",
+    "Cluster",
+    "DataNodeSpec",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "GeoTPConfig",
+    "MiddlewareSpec",
+    "Operation",
+    "OpType",
+    "SUPPORTED_SYSTEMS",
+    "ScalarDBConfig",
+    "Statement",
+    "TPCCConfig",
+    "TopologyConfig",
+    "TransactionResult",
+    "TransactionSpec",
+    "TxnOutcome",
+    "YCSBConfig",
+    "build_cluster",
+    "run_experiment",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""SSP (local): ShardingSphere's non-atomic "local" transaction mode.
+
+The paper uses this mode to show SSP's peak performance: it "employs a
+decentralized commit protocol but allows transactions to be committed when data
+sources return different votes".  Concretely the middleware skips the prepare
+phase and asks every participant to commit its branch independently (one WAN
+round trip), accepting that a participant may fail to commit after others
+already did — atomicity is not guaranteed.
+"""
+
+from __future__ import annotations
+
+from repro.common import AbortReason, TxnOutcome
+from repro import protocol
+from repro.middleware.context import TransactionContext, TransactionPhase
+from repro.middleware.coordinator import TwoPhaseCommitCoordinator
+
+
+class SSPLocalCoordinator(TwoPhaseCommitCoordinator):
+    """SSP without the prepare phase (no atomicity guarantee)."""
+
+    system_name = "SSP(local)"
+
+    def _commit_distributed(self, ctx: TransactionContext):
+        yield from self._flush_decision_log(ctx, commit=True)
+        ctx.enter_phase(TransactionPhase.COMMIT, self.env.now)
+        acks = []
+        for name in ctx.participants:
+            handle = self.participants[name]
+            acks.append(self.timed_request_participant(
+                handle, protocol.MSG_COMMIT_ONE_PHASE,
+                {"xid": ctx.branch_xid(name)}))
+        condition = yield self.env.all_of(acks)
+        replies = [condition[ack] for ack in acks]
+        failed = [r for r in replies
+                  if not (isinstance(r, dict) and r.get("status") == "ok")]
+        if failed and len(failed) == len(replies):
+            # Every branch failed to commit: report an abort.  Partial commits
+            # are reported as committed — that is precisely the atomicity gap
+            # of this mode.
+            return TxnOutcome.ABORTED, AbortReason.FAILURE
+        return TxnOutcome.COMMITTED, None

@@ -1,0 +1,13 @@
+"""Benchmark harness: experiment runner, per-figure experiments, reporting."""
+
+from repro.bench.runner import ExperimentConfig, ExperimentResult, run_experiment
+from repro.bench.report import format_table, print_series, print_table
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "format_table",
+    "print_series",
+    "print_table",
+    "run_experiment",
+]

@@ -1,0 +1,41 @@
+"""Plain-text reporting of experiment results (the tables/series the paper plots)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned plain-text table."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print a titled table to stdout."""
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows))
+
+
+def print_series(title: str, series: List[Tuple[float, float]],
+                 x_label: str = "x", y_label: str = "y") -> None:
+    """Print an (x, y) series as a two-column table."""
+    print_table(title, [x_label, y_label], series)

@@ -1,0 +1,169 @@
+"""The experiment runner: one call builds a cluster, drives terminals, reports metrics.
+
+This is the public entry point used by the examples and every benchmark:
+
+>>> from repro import ExperimentConfig, run_experiment
+>>> result = run_experiment(ExperimentConfig(system="geotp", terminals=16,
+...                                          duration_ms=5_000))
+>>> result.throughput_tps  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.baselines.scalardb import ScalarDBConfig
+from repro.cluster.client import start_terminals
+from repro.cluster.deployment import Cluster, build_cluster
+from repro.cluster.topology import TopologyConfig
+from repro.core.config import GeoTPConfig
+from repro.metrics.breakdown import PhaseBreakdown
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.percentiles import LatencyDistribution
+from repro.metrics.resources import ResourceUsage
+from repro.metrics.timeline import ThroughputTimeline
+from repro.middleware.middleware import MiddlewareConfig
+from repro.workloads.base import Workload
+from repro.workloads.tpcc import TPCCConfig, TPCCWorkload
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything needed to run one experiment point."""
+
+    system: str = "geotp"
+    workload: str = "ycsb"                      # "ycsb" or "tpcc"
+    topology: Optional[TopologyConfig] = None   # defaults to the paper topology
+    terminals: int = 64
+    duration_ms: float = 20_000.0
+    warmup_ms: float = 2_000.0
+    ycsb: YCSBConfig = field(default_factory=YCSBConfig)
+    tpcc: TPCCConfig = field(default_factory=TPCCConfig)
+    geotp: Optional[GeoTPConfig] = None
+    scalardb: Optional[ScalarDBConfig] = None
+    middleware: Optional[MiddlewareConfig] = None
+    #: Bucket width for the throughput time series (None disables the timeline).
+    timeline_bucket_ms: Optional[float] = None
+    #: Enable GeoTP's active latency probing (needed when link latencies change
+    #: while the workload is not exercising them, Figure 11b).
+    active_probing: bool = False
+    seed: int = 0
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated outcome of one experiment point."""
+
+    system: str
+    workload: str
+    terminals: int
+    measured_duration_ms: float
+    throughput_tps: float
+    average_latency_ms: float
+    p99_latency_ms: float
+    abort_rate: float
+    committed: int
+    aborted: int
+    latency: LatencyDistribution
+    breakdown: Dict[str, float]
+    resources: ResourceUsage
+    collector: MetricsCollector
+    timeline: Optional[ThroughputTimeline] = None
+    cluster: Optional[Cluster] = None
+
+    # ------------------------------------------------------------ conveniences
+    def throughput_for(self, txn_type: str) -> float:
+        """Committed transactions per second of one transaction type."""
+        return self.collector.throughput_tps(self.measured_duration_ms, txn_type)
+
+    def average_latency_for(self, txn_type: str) -> float:
+        """Average latency (ms) of one transaction type."""
+        return self.collector.average_latency_ms(txn_type=txn_type)
+
+    def latency_for(self, txn_type: Optional[str] = None,
+                    distributed: Optional[bool] = None) -> LatencyDistribution:
+        """Latency distribution filtered by transaction type / distribution."""
+        return self.collector.latency_distribution(txn_type=txn_type,
+                                                   distributed=distributed)
+
+    def summary_row(self):
+        """A compact row used by the report tables."""
+        return (self.system, round(self.throughput_tps, 1),
+                round(self.average_latency_ms, 1), round(self.p99_latency_ms, 1),
+                round(self.abort_rate * 100, 1))
+
+
+def make_workload(config: ExperimentConfig, node_names) -> Workload:
+    """Instantiate the workload generator selected by ``config``."""
+    if config.workload == "ycsb":
+        ycsb = config.ycsb
+        ycsb.seed = config.seed
+        return YCSBWorkload(node_names, ycsb)
+    if config.workload == "tpcc":
+        tpcc = config.tpcc
+        tpcc.seed = config.seed
+        return TPCCWorkload(node_names, tpcc)
+    raise ValueError(f"unknown workload {config.workload!r}")
+
+
+def run_experiment(config: ExperimentConfig,
+                   keep_cluster: bool = False) -> ExperimentResult:
+    """Run one experiment point and aggregate its metrics."""
+    if config.warmup_ms >= config.duration_ms:
+        raise ValueError("warmup_ms must be smaller than duration_ms")
+    topology = config.topology or TopologyConfig.paper_default()
+    workload = make_workload(config, topology.node_names())
+    partitioner = workload.make_partitioner()
+    cluster = build_cluster(config.system, topology, partitioner,
+                            middleware_config=config.middleware,
+                            geotp_config=config.geotp,
+                            scalardb_config=config.scalardb,
+                            seed=config.seed)
+    cluster.load_workload(workload)
+
+    collector = MetricsCollector(warmup_ms=config.warmup_ms)
+    timeline = (ThroughputTimeline(bucket_ms=config.timeline_bucket_ms)
+                if config.timeline_bucket_ms else None)
+
+    if config.active_probing:
+        for middleware in cluster.middlewares:
+            if hasattr(middleware, "start_probing"):
+                middleware.start_probing()
+
+    start_terminals(cluster.env, cluster.middlewares, workload, collector,
+                    terminal_count=config.terminals, duration_ms=config.duration_ms,
+                    timeline=timeline)
+    cluster.env.run(until=config.duration_ms)
+
+    measured = config.duration_ms - config.warmup_ms
+    latency = collector.latency_distribution()
+    breakdown = PhaseBreakdown()
+    breakdown.record_many(s.phase_breakdown for s in collector.samples if s.committed)
+
+    resources = ResourceUsage(
+        work_units=sum(m.stats.work_units for m in cluster.middlewares),
+        wan_messages=sum(m.stats.wan_messages for m in cluster.middlewares),
+        metadata_bytes=sum(m.stats.metadata_bytes for m in cluster.middlewares),
+        committed=sum(m.stats.committed for m in cluster.middlewares),
+    )
+
+    return ExperimentResult(
+        system=config.system,
+        workload=config.workload,
+        terminals=config.terminals,
+        measured_duration_ms=measured,
+        throughput_tps=collector.throughput_tps(measured),
+        average_latency_ms=latency.mean,
+        p99_latency_ms=latency.p99 if len(latency) else 0.0,
+        abort_rate=collector.abort_rate(),
+        committed=collector.committed_count(),
+        aborted=collector.aborted_count(),
+        latency=latency,
+        breakdown=breakdown.average(),
+        resources=resources,
+        collector=collector,
+        timeline=timeline,
+        cluster=cluster if keep_cluster else None,
+    )

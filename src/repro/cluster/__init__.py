@@ -1,0 +1,22 @@
+"""Cluster construction: topologies, deployments and client terminals."""
+
+from repro.cluster.topology import (
+    DataNodeSpec,
+    MiddlewareSpec,
+    TopologyConfig,
+    region_rtt_ms,
+)
+from repro.cluster.deployment import Cluster, SUPPORTED_SYSTEMS, build_cluster
+from repro.cluster.client import ClientTerminal, start_terminals
+
+__all__ = [
+    "ClientTerminal",
+    "Cluster",
+    "DataNodeSpec",
+    "MiddlewareSpec",
+    "SUPPORTED_SYSTEMS",
+    "TopologyConfig",
+    "build_cluster",
+    "region_rtt_ms",
+    "start_terminals",
+]

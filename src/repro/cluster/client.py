@@ -1,0 +1,69 @@
+"""Closed-loop client terminals (the Benchbase driver substitute).
+
+Each terminal repeatedly generates a transaction from the workload, submits it
+to its middleware, waits for the outcome and immediately submits the next one —
+the closed-loop, zero-think-time model the paper uses.  Results are recorded in
+a :class:`~repro.metrics.MetricsCollector` (and optionally a throughput
+timeline for the time-series experiments).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.timeline import ThroughputTimeline
+from repro.middleware.middleware import MiddlewareBase
+from repro.sim.environment import Environment
+from repro.sim.process import Process
+from repro.workloads.base import Workload
+
+
+class ClientTerminal:
+    """One closed-loop client session."""
+
+    def __init__(self, env: Environment, terminal_id: int, middleware: MiddlewareBase,
+                 workload: Workload, collector: MetricsCollector,
+                 stop_at_ms: float, timeline: Optional[ThroughputTimeline] = None,
+                 think_time_ms: float = 0.0):
+        self.env = env
+        self.terminal_id = terminal_id
+        self.middleware = middleware
+        self.workload = workload
+        self.collector = collector
+        self.timeline = timeline
+        self.stop_at_ms = stop_at_ms
+        self.think_time_ms = think_time_ms
+        self.transactions_run = 0
+        self.process: Process = env.process(self._run(),
+                                            name=f"terminal-{terminal_id}")
+
+    def _run(self):
+        while self.env.now < self.stop_at_ms:
+            spec = self.workload.next_transaction(self.terminal_id)
+            result = yield self.middleware.submit(spec)
+            self.transactions_run += 1
+            self.collector.record(result, txn_type=spec.txn_type)
+            if self.timeline is not None and result.committed:
+                self.timeline.record(result.end_time)
+            if self.think_time_ms > 0:
+                yield self.env.timeout(self.think_time_ms)
+
+
+def start_terminals(env: Environment, middlewares: Sequence[MiddlewareBase],
+                    workload: Workload, collector: MetricsCollector,
+                    terminal_count: int, duration_ms: float,
+                    timeline: Optional[ThroughputTimeline] = None,
+                    think_time_ms: float = 0.0) -> List[ClientTerminal]:
+    """Start ``terminal_count`` terminals spread round-robin over the middlewares."""
+    if terminal_count < 1:
+        raise ValueError("terminal_count must be >= 1")
+    if not middlewares:
+        raise ValueError("at least one middleware is required")
+    terminals = []
+    for index in range(terminal_count):
+        middleware = middlewares[index % len(middlewares)]
+        terminals.append(ClientTerminal(
+            env, index, middleware, workload, collector,
+            stop_at_ms=duration_ms, timeline=timeline, think_time_ms=think_time_ms))
+    return terminals

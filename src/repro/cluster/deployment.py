@@ -1,0 +1,234 @@
+"""Deployment: instantiate a full simulated cluster for one system under test.
+
+``build_cluster`` wires up the network, data sources, geo-agents (for GeoTP)
+and one middleware per :class:`~repro.cluster.topology.MiddlewareSpec`, for any
+of the supported systems:
+
+========== =====================================================================
+system      coordinator
+========== =====================================================================
+ssp         :class:`repro.baselines.SSPCoordinator` (XA 2PC)
+ssp_local   :class:`repro.baselines.SSPLocalCoordinator` (no atomicity)
+geotp       :class:`repro.core.GeoTPCoordinator` + geo-agents
+quro        :class:`repro.baselines.QUROCoordinator`
+chiller     :class:`repro.baselines.ChillerCoordinator`
+scalardb    :class:`repro.baselines.ScalarDBCoordinator`
+scalardb+   :class:`repro.baselines.ScalarDBPlusCoordinator`
+yugabyte    :class:`repro.baselines.YugabyteCoordinator` (co-located with ds0)
+========== =====================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baselines import (
+    ChillerCoordinator,
+    QUROCoordinator,
+    ScalarDBConfig,
+    ScalarDBCoordinator,
+    ScalarDBPlusCoordinator,
+    SSPCoordinator,
+    SSPLocalCoordinator,
+    YugabyteCoordinator,
+)
+from repro.cluster.topology import MiddlewareSpec, TopologyConfig
+from repro.core import GeoAgent, GeoAgentConfig, GeoTPConfig, GeoTPCoordinator
+from repro.middleware.middleware import (
+    MiddlewareBase,
+    MiddlewareConfig,
+    ParticipantHandle,
+)
+from repro.middleware.router import Partitioner
+from repro.sim.environment import Environment
+from repro.sim.latency import ConstantLatency
+from repro.sim.network import Network
+from repro.sim.rng import SeededRNG
+from repro.storage.datasource import DataSource, DataSourceConfig
+from repro.storage.dialects import dialect_by_name
+
+#: Canonical system identifiers accepted by :func:`build_cluster`.
+SUPPORTED_SYSTEMS = (
+    "ssp", "ssp_local", "geotp", "quro", "chiller",
+    "scalardb", "scalardb_plus", "yugabyte",
+)
+
+#: Systems whose middleware talks to geo-agents instead of raw data sources.
+_AGENT_SYSTEMS = {"geotp"}
+
+
+def _normalize_system(system: str) -> str:
+    key = system.strip().lower().replace("-", "_").replace(" ", "_")
+    aliases = {
+        "shardingsphere": "ssp",
+        "ssp(local)": "ssp_local",
+        "ssp_(local)": "ssp_local",
+        "ssplocal": "ssp_local",
+        "scalardb+": "scalardb_plus",
+        "scalardbplus": "scalardb_plus",
+        "yugabytedb": "yugabyte",
+    }
+    key = aliases.get(key, key)
+    if key not in SUPPORTED_SYSTEMS:
+        raise ValueError(f"unknown system {system!r}; expected one of {SUPPORTED_SYSTEMS}")
+    return key
+
+
+@dataclass
+class Cluster:
+    """A fully wired simulated deployment."""
+
+    env: Environment
+    network: Network
+    topology: TopologyConfig
+    system: str
+    partitioner: Partitioner
+    datasources: Dict[str, DataSource]
+    agents: Dict[str, GeoAgent] = field(default_factory=dict)
+    middlewares: List[MiddlewareBase] = field(default_factory=list)
+
+    @property
+    def middleware(self) -> MiddlewareBase:
+        """The first (often only) middleware."""
+        return self.middlewares[0]
+
+    def load_workload(self, workload) -> None:
+        """Bulk-load a workload's initial data into the data sources."""
+        workload.load_into(self.datasources)
+
+
+def build_cluster(system: str, topology: TopologyConfig, partitioner: Partitioner,
+                  env: Optional[Environment] = None,
+                  middleware_config: Optional[MiddlewareConfig] = None,
+                  geotp_config: Optional[GeoTPConfig] = None,
+                  scalardb_config: Optional[ScalarDBConfig] = None,
+                  seed: int = 0) -> Cluster:
+    """Build a cluster running ``system`` on ``topology``.
+
+    The ``partitioner`` must be built over ``topology.node_names()`` (workloads
+    provide one via :meth:`~repro.workloads.base.Workload.make_partitioner`).
+    """
+    system = _normalize_system(system)
+    env = env or Environment()
+    network = Network(env)
+
+    datasources = _build_datasources(env, network, topology)
+    agents: Dict[str, GeoAgent] = {}
+    if system in _AGENT_SYSTEMS:
+        agents = _build_agents(env, network, topology, geotp_config)
+
+    middlewares: List[MiddlewareBase] = []
+    for index, dm_spec in enumerate(topology.middlewares):
+        _wire_middleware_links(network, topology, dm_spec, system, agents)
+        participants = _participant_handles(topology, system, agents)
+        config = middleware_config or MiddlewareConfig()
+        config = MiddlewareConfig(
+            name=dm_spec.name, analysis_cost_ms=config.analysis_cost_ms,
+            log_flush_cost_ms=config.log_flush_cost_ms,
+            request_overhead_ms=config.request_overhead_ms,
+            connection_pool_capacity=config.connection_pool_capacity)
+        middleware = _build_coordinator(system, env, network, config, participants,
+                                        partitioner, geotp_config, scalardb_config,
+                                        seed + index)
+        middlewares.append(middleware)
+
+    return Cluster(env=env, network=network, topology=topology, system=system,
+                   partitioner=partitioner, datasources=datasources, agents=agents,
+                   middlewares=middlewares)
+
+
+# ---------------------------------------------------------------------- pieces
+def _build_datasources(env: Environment, network: Network,
+                       topology: TopologyConfig) -> Dict[str, DataSource]:
+    datasources = {}
+    for node in topology.data_nodes:
+        config = DataSourceConfig(
+            name=node.name,
+            dialect=dialect_by_name(node.dialect),
+            lock_wait_timeout_ms=topology.lock_wait_timeout_ms)
+        datasources[node.name] = DataSource(env, network, config)
+    return datasources
+
+
+def _agent_name(node_name: str) -> str:
+    return f"agent-{node_name}"
+
+
+def _build_agents(env: Environment, network: Network, topology: TopologyConfig,
+                  geotp_config: Optional[GeoTPConfig]) -> Dict[str, GeoAgent]:
+    geotp_config = geotp_config or GeoTPConfig()
+    agents = {}
+    for node in topology.data_nodes:
+        agent = GeoAgent(env, network, GeoAgentConfig(
+            name=_agent_name(node.name), datasource=node.name,
+            enable_early_abort=geotp_config.enable_early_abort))
+        agents[node.name] = agent
+        network.set_link(agent.name, node.name,
+                         ConstantLatency(topology.lan_rtt_ms))
+    # Agent-to-agent WAN links (early abort notifications).
+    for i, node_a in enumerate(topology.data_nodes):
+        for node_b in topology.data_nodes[i + 1:]:
+            rtt = topology.inter_node_rtt_ms(node_a, node_b)
+            network.set_link(_agent_name(node_a.name), _agent_name(node_b.name),
+                             ConstantLatency(rtt))
+    return agents
+
+
+def _wire_middleware_links(network: Network, topology: TopologyConfig,
+                           dm_spec: MiddlewareSpec, system: str,
+                           agents: Dict[str, GeoAgent]) -> None:
+    for index, node in enumerate(topology.data_nodes):
+        if system == "yugabyte":
+            # The coordinator is co-located with the first data node; its cost
+            # to reach other nodes is the inter-node (region-to-region) RTT.
+            model = ConstantLatency(
+                topology.inter_node_rtt_ms(topology.data_nodes[0], node))
+        else:
+            model = topology.middleware_link_model(dm_spec, node)
+        endpoint = _agent_name(node.name) if node.name in agents else node.name
+        network.set_link(dm_spec.name, endpoint, model)
+        if node.name in agents:
+            # Direct middleware <-> data source link kept for recovery traffic.
+            network.set_link(dm_spec.name, node.name, model)
+
+
+def _participant_handles(topology: TopologyConfig, system: str,
+                         agents: Dict[str, GeoAgent]) -> Dict[str, ParticipantHandle]:
+    handles = {}
+    for node in topology.data_nodes:
+        endpoint = _agent_name(node.name) if node.name in agents else node.name
+        handles[node.name] = ParticipantHandle(
+            name=node.name, endpoint=endpoint, dialect=dialect_by_name(node.dialect),
+            datasource_node=node.name)
+    return handles
+
+
+def _build_coordinator(system: str, env: Environment, network: Network,
+                       config: MiddlewareConfig,
+                       participants: Dict[str, ParticipantHandle],
+                       partitioner: Partitioner,
+                       geotp_config: Optional[GeoTPConfig],
+                       scalardb_config: Optional[ScalarDBConfig],
+                       seed: int) -> MiddlewareBase:
+    if system == "geotp":
+        return GeoTPCoordinator(env, network, config, participants, partitioner,
+                                geotp_config=geotp_config, rng=SeededRNG(seed))
+    if system == "ssp":
+        return SSPCoordinator(env, network, config, participants, partitioner)
+    if system == "ssp_local":
+        return SSPLocalCoordinator(env, network, config, participants, partitioner)
+    if system == "quro":
+        return QUROCoordinator(env, network, config, participants, partitioner)
+    if system == "chiller":
+        return ChillerCoordinator(env, network, config, participants, partitioner)
+    if system == "scalardb":
+        return ScalarDBCoordinator(env, network, config, participants, partitioner,
+                                   scalardb_config=scalardb_config)
+    if system == "scalardb_plus":
+        return ScalarDBPlusCoordinator(env, network, config, participants, partitioner,
+                                       scalardb_config=scalardb_config,
+                                       geotp_config=geotp_config, rng=SeededRNG(seed))
+    if system == "yugabyte":
+        return YugabyteCoordinator(env, network, config, participants, partitioner)
+    raise ValueError(f"unhandled system {system!r}")

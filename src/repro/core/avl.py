@@ -1,0 +1,194 @@
+"""A self-balancing AVL tree.
+
+The paper organises the hotspot footprint in an AVL tree so that point and
+range lookups over hot records are ``O(log n)`` (§IV-C).  This implementation
+stores arbitrary values under totally-ordered keys and supports insert, find,
+delete, ordered iteration and range queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class _Node:
+    __slots__ = ("key", "value", "left", "right", "height")
+
+    def __init__(self, key: Any, value: Any):
+        self.key = key
+        self.value = value
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.height = 1
+
+
+def _height(node: Optional[_Node]) -> int:
+    return node.height if node else 0
+
+
+def _update(node: _Node) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+
+
+def _balance_factor(node: _Node) -> int:
+    return _height(node.left) - _height(node.right)
+
+
+def _rotate_right(y: _Node) -> _Node:
+    x = y.left
+    y.left = x.right
+    x.right = y
+    _update(y)
+    _update(x)
+    return x
+
+
+def _rotate_left(x: _Node) -> _Node:
+    y = x.right
+    x.right = y.left
+    y.left = x
+    _update(x)
+    _update(y)
+    return y
+
+
+def _rebalance(node: _Node) -> _Node:
+    _update(node)
+    balance = _balance_factor(node)
+    if balance > 1:
+        if _balance_factor(node.left) < 0:
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if balance < -1:
+        if _balance_factor(node.right) > 0:
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class AVLTree:
+    """Ordered map with O(log n) insert / find / delete and range scans."""
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        return self.find(key) is not None or self._find_node(key) is not None
+
+    # ---------------------------------------------------------------- mutation
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert ``key`` (or replace its value if already present)."""
+        self._root, added = self._insert(self._root, key, value)
+        if added:
+            self._size += 1
+
+    def _insert(self, node: Optional[_Node], key: Any, value: Any) -> Tuple[_Node, bool]:
+        if node is None:
+            return _Node(key, value), True
+        if key == node.key:
+            node.value = value
+            return node, False
+        if key < node.key:
+            node.left, added = self._insert(node.left, key, value)
+        else:
+            node.right, added = self._insert(node.right, key, value)
+        return _rebalance(node), added
+
+    def remove(self, key: Any) -> bool:
+        """Remove ``key``; returns True if it was present."""
+        self._root, removed = self._remove(self._root, key)
+        if removed:
+            self._size -= 1
+        return removed
+
+    def _remove(self, node: Optional[_Node], key: Any) -> Tuple[Optional[_Node], bool]:
+        if node is None:
+            return None, False
+        if key < node.key:
+            node.left, removed = self._remove(node.left, key)
+        elif key > node.key:
+            node.right, removed = self._remove(node.right, key)
+        else:
+            removed = True
+            if node.left is None:
+                return node.right, True
+            if node.right is None:
+                return node.left, True
+            successor = node.right
+            while successor.left is not None:
+                successor = successor.left
+            node.key, node.value = successor.key, successor.value
+            node.right, _ = self._remove(node.right, successor.key)
+        return _rebalance(node), removed
+
+    # ----------------------------------------------------------------- queries
+    def _find_node(self, key: Any) -> Optional[_Node]:
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return node
+            node = node.left if key < node.key else node.right
+        return None
+
+    def find(self, key: Any) -> Optional[Any]:
+        """The value stored under ``key``, or None."""
+        node = self._find_node(key)
+        return node.value if node else None
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """In-order (sorted by key) iteration over (key, value) pairs."""
+        stack: List[_Node] = []
+        node = self._root
+        while stack or node:
+            while node:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def keys(self) -> List[Any]:
+        """All keys in sorted order."""
+        return [key for key, _value in self.items()]
+
+    def range_query(self, low: Any, high: Any) -> List[Tuple[Any, Any]]:
+        """All (key, value) pairs with ``low <= key <= high`` in key order."""
+        out: List[Tuple[Any, Any]] = []
+
+        def visit(node: Optional[_Node]) -> None:
+            if node is None:
+                return
+            if node.key > low:
+                visit(node.left)
+            if low <= node.key <= high:
+                out.append((node.key, node.value))
+            if node.key < high:
+                visit(node.right)
+
+        visit(self._root)
+        return out
+
+    def height(self) -> int:
+        """Tree height (0 for an empty tree); stays O(log n) by balancing."""
+        return _height(self._root)
+
+    def check_invariants(self) -> bool:
+        """Verify BST ordering and AVL balance (used by property tests)."""
+
+        def check(node: Optional[_Node]) -> Tuple[bool, int]:
+            if node is None:
+                return True, 0
+            ok_left, height_left = check(node.left)
+            ok_right, height_right = check(node.right)
+            ordered = ((node.left is None or node.left.key < node.key)
+                       and (node.right is None or node.right.key > node.key))
+            balanced = abs(height_left - height_right) <= 1
+            return (ok_left and ok_right and ordered and balanced,
+                    1 + max(height_left, height_right))
+
+        ok, _height_value = check(self._root)
+        return ok

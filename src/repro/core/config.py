@@ -1,0 +1,91 @@
+"""Configuration of the GeoTP optimizations.
+
+The three switches mirror the paper's ablation (Figure 12):
+
+* ``O1`` — decentralized prepare + early abort (§IV-A);
+* ``O2`` — latency-aware scheduling of subtransaction start times (§IV-B);
+* ``O3`` — high-contention optimizations: hotspot statistics, local execution
+  latency forecasting and late transaction scheduling (§IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class GeoTPConfig:
+    """Tunable knobs of the GeoTP coordinator."""
+
+    #: O1: initiate the prepare phase from the geo-agent after the last statement.
+    enable_decentralized_prepare: bool = True
+    #: O1 companion: geo-agents proactively notify peers on abort.
+    enable_early_abort: bool = True
+    #: O2: postpone subtransaction dispatch according to per-link latency.
+    enable_latency_aware_scheduling: bool = True
+    #: O3: hotspot statistics + forecasting + late transaction scheduling.
+    enable_high_contention_optimization: bool = True
+
+    #: EWMA coefficient for the network latency monitor (larger = smoother).
+    ewma_alpha: float = 0.8
+    #: Interval of the active latency probe (the paper pings every 10 ms; the
+    #: simulation defaults to a coarser probe and also learns passively from
+    #: every observed round trip).
+    probe_interval_ms: float = 1000.0
+    #: Enable the active probing process in addition to passive measurements.
+    enable_active_probing: bool = False
+
+    #: Weighted-average coefficient alpha of Eq. (4).
+    hotspot_alpha: float = 0.7
+    #: Maximum number of hot records tracked before LRU eviction.
+    hotspot_capacity: int = 4096
+    #: Scale factor applied to forecasted local execution latency before it is
+    #: used for scheduling (the paper scales predictions down when they are
+    #: unreliable so a delayed subtransaction never becomes the new bottleneck).
+    forecast_scale: float = 0.8
+    #: Upper bound on the forecasted local execution latency used for
+    #: scheduling.  Observed latencies include lock waits, which can reach the
+    #: lock-wait timeout under heavy contention; postponing other
+    #: subtransactions by that much would make the forecast itself the
+    #: bottleneck, so predictions are clamped (the paper's "scale down the
+    #: predicted latency" mitigation).
+    forecast_cap_ms: float = 50.0
+
+    #: Maximum admission retries before a transaction is aborted (Alg. 2 line 16).
+    admission_max_retries: int = 10
+    #: Wait between admission retries.
+    admission_backoff_ms: float = 5.0
+    #: Only apply admission control to transactions whose predicted success
+    #: probability is below this threshold... kept at 1.0 to follow Alg. 2.
+    admission_threshold: float = 1.0
+
+    #: Round-trip time between a geo-agent and its co-located data source.
+    lan_rtt_ms: float = 0.5
+
+    def ablation_o1(self) -> "GeoTPConfig":
+        """GeoTP(O1): decentralized prepare only."""
+        return GeoTPConfig(
+            enable_decentralized_prepare=True,
+            enable_early_abort=True,
+            enable_latency_aware_scheduling=False,
+            enable_high_contention_optimization=False,
+            ewma_alpha=self.ewma_alpha,
+            hotspot_alpha=self.hotspot_alpha,
+            hotspot_capacity=self.hotspot_capacity,
+            forecast_scale=self.forecast_scale,
+            admission_max_retries=self.admission_max_retries,
+            admission_backoff_ms=self.admission_backoff_ms,
+            lan_rtt_ms=self.lan_rtt_ms,
+        )
+
+    def ablation_o1_o2(self) -> "GeoTPConfig":
+        """GeoTP(O1~O2): decentralized prepare + latency-aware scheduling."""
+        config = self.ablation_o1()
+        config.enable_latency_aware_scheduling = True
+        return config
+
+    def ablation_o1_o3(self) -> "GeoTPConfig":
+        """GeoTP(O1~O3): all optimizations (the full system)."""
+        config = self.ablation_o1_o2()
+        config.enable_high_contention_optimization = True
+        return config

@@ -1,0 +1,243 @@
+"""The geo-agent: GeoTP's per-data-source coordination proxy (§III-B, §IV-A).
+
+A geo-agent runs next to its data source (LAN round trip of well under a
+millisecond) and gives GeoTP two abilities the plain middleware lacks:
+
+* **Decentralized prepare** — after the data source executes the statement
+  batch annotated as the transaction's last one, the agent immediately drives
+  the XA END / XA PREPARE sequence over the LAN and reports the vote to the
+  middleware asynchronously, removing the prepare phase's WAN round trip from
+  the critical path (Algorithm 1's ``AsyncPrepare``).
+* **Early abort** — when a subtransaction fails, the agent proactively tells
+  the peer agents to roll back their branches, without waiting for the
+  middleware (Algorithm 1's ``AsyncRollback``), halving the abort latency.
+
+The agent also transparently forwards ordinary XA verbs to its data source so
+that commit, rollback and recovery traffic flow through it unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.common import AbortReason, SubtxnResult, Vote
+from repro import protocol
+from repro.sim.environment import Environment
+from repro.sim.network import Message, Network, NetworkInterface
+
+
+@dataclass
+class GeoAgentConfig:
+    """Static configuration of one geo-agent."""
+
+    name: str
+    datasource: str
+    #: Extra processing cost per forwarded message (encode/decode, Fig. 6c "Others").
+    forward_overhead_ms: float = 0.1
+    enable_early_abort: bool = True
+
+
+#: Verbs forwarded verbatim to the co-located data source.
+_FORWARDED_VERBS = (
+    protocol.MSG_EXECUTE,
+    protocol.MSG_XA_START,
+    protocol.MSG_XA_END,
+    protocol.MSG_XA_PREPARE,
+    protocol.MSG_XA_COMMIT,
+    protocol.MSG_XA_ROLLBACK,
+    protocol.MSG_COMMIT_ONE_PHASE,
+    protocol.MSG_LIST_PREPARED,
+    protocol.MSG_TXN_STATE,
+    protocol.MSG_PING,
+    protocol.MSG_KV_GET,
+    protocol.MSG_KV_PUT,
+    protocol.MSG_KV_PUT_IF_VERSION,
+)
+
+
+class GeoAgentStats:
+    """Counters describing what the agent did (used in tests and reports)."""
+
+    def __init__(self) -> None:
+        self.executes = 0
+        self.decentralized_prepares = 0
+        self.early_abort_notifications = 0
+        self.peer_rollbacks_handled = 0
+        self.forwarded = 0
+
+
+class GeoAgent:
+    """The per-data-source agent process."""
+
+    def __init__(self, env: Environment, network: Network, config: GeoAgentConfig):
+        self.env = env
+        self.config = config
+        self.name = config.name
+        self.datasource = config.datasource
+        self.net: NetworkInterface = network.interface(config.name)
+        self.stats = GeoAgentStats()
+        #: Maps global transaction ids to the local branch xid seen on this node.
+        self._local_xids: Dict[str, str] = {}
+        #: Global transaction ids aborted by a peer before we even saw them.
+        self._poisoned: Set[str] = set()
+        self._process = env.process(self._serve(), name=f"geoagent:{config.name}")
+
+    # ------------------------------------------------------------------ server
+    def _serve(self):
+        while True:
+            message = yield self.net.receive()
+            self.env.process(self._handle(message),
+                             name=f"{self.name}:{message.msg_type}")
+
+    def _handle(self, message: Message):
+        if message.msg_type == protocol.MSG_AGENT_EXECUTE:
+            yield from self._on_agent_execute(message)
+        elif message.msg_type == protocol.MSG_AGENT_PREPARE:
+            yield from self._on_agent_prepare(message)
+        elif message.msg_type == protocol.MSG_PEER_ROLLBACK:
+            yield from self._on_peer_rollback(message)
+        elif message.msg_type in _FORWARDED_VERBS:
+            yield from self._forward(message)
+        else:
+            if message.reply_event is not None:
+                self.net.reply(message, {"status": "error",
+                                         "error": f"unknown verb {message.msg_type}"})
+
+    def _forward(self, message: Message):
+        """Transparently forward a verb to the data source and relay the reply."""
+        self.stats.forwarded += 1
+        yield self.env.timeout(self.config.forward_overhead_ms)
+        reply = yield self.net.request(self.datasource, message.msg_type, message.payload)
+        if message.reply_event is not None:
+            self.net.reply(message, reply)
+
+    # ----------------------------------------------------------- GeoTP execute
+    def _on_agent_execute(self, message: Message):
+        payload = dict(message.payload or {})
+        xid = payload["xid"]
+        global_txn_id = payload.get("global_txn_id", xid)
+        coordinator = payload.get("coordinator", message.sender)
+        peers = list(payload.get("peers", []))
+        is_last = bool(payload.get("is_last", False))
+        decentralized = bool(payload.get("decentralized_prepare", False))
+        self.stats.executes += 1
+        self._local_xids[global_txn_id] = xid
+
+        yield self.env.timeout(self.config.forward_overhead_ms)
+
+        if global_txn_id in self._poisoned:
+            # A peer already aborted this transaction: do not waste execution.
+            result = SubtxnResult(xid=xid, datasource=self.datasource, success=False,
+                                  error="aborted by peer before execution",
+                                  abort_reason=AbortReason.PEER_ABORT)
+            if message.reply_event is not None:
+                self.net.reply(message, result)
+            self._send_state(coordinator, global_txn_id, protocol.STATE_ROLLBACKED)
+            return
+
+        execute_payload = {
+            "xid": xid,
+            "global_txn_id": global_txn_id,
+            "operations": payload.get("operations", []),
+            "auto_start": payload.get("auto_start", True),
+        }
+        result = yield self.net.request(self.datasource, protocol.MSG_EXECUTE,
+                                        execute_payload)
+
+        if isinstance(result, SubtxnResult) and not result.success:
+            # Execution failed (typically a lock timeout): early abort.
+            if message.reply_event is not None:
+                self.net.reply(message, result)
+            yield from self._async_rollback(global_txn_id, xid, peers, coordinator,
+                                            already_aborted=True)
+            return
+
+        if message.reply_event is not None:
+            self.net.reply(message, result)
+
+        if is_last and decentralized:
+            yield from self._async_prepare(global_txn_id, xid, peers, coordinator)
+
+    def _on_agent_prepare(self, message: Message):
+        """Explicit prepare request for participants without a last statement."""
+        payload = dict(message.payload or {})
+        xid = payload["xid"]
+        global_txn_id = payload.get("global_txn_id", xid)
+        coordinator = payload.get("coordinator", message.sender)
+        peers = list(payload.get("peers", []))
+        self._local_xids.setdefault(global_txn_id, xid)
+        yield self.env.timeout(self.config.forward_overhead_ms)
+        if message.reply_event is not None:
+            self.net.reply(message, {"status": "ok"})
+        yield from self._async_prepare(global_txn_id, xid, peers, coordinator)
+
+    # ------------------------------------------------- Algorithm 1: AsyncPrepare
+    def _async_prepare(self, global_txn_id: str, xid: str, peers, coordinator: str):
+        if not peers:
+            # Centralized transaction: nothing to prepare, report IDLE (Alg. 1 l.7-9).
+            self._send_state(coordinator, global_txn_id, protocol.STATE_IDLE)
+            return
+
+        end_reply = yield self.net.request(self.datasource, protocol.MSG_XA_END,
+                                           {"xid": xid})
+        if not (isinstance(end_reply, dict) and end_reply.get("status") == "ok"):
+            self._send_state(coordinator, global_txn_id, protocol.STATE_ROLLBACK_ONLY)
+            yield from self._async_rollback(global_txn_id, xid, peers, coordinator)
+            return
+
+        prepare_reply = yield self.net.request(self.datasource, protocol.MSG_XA_PREPARE,
+                                               {"xid": xid})
+        vote = prepare_reply.get("vote") if isinstance(prepare_reply, dict) else None
+        if vote is Vote.YES:
+            self.stats.decentralized_prepares += 1
+            self._send_state(coordinator, global_txn_id, protocol.STATE_PREPARED)
+        else:
+            self._send_state(coordinator, global_txn_id, protocol.STATE_FAILURE)
+            yield from self._async_rollback(global_txn_id, xid, peers, coordinator)
+
+    # ------------------------------------------------ Algorithm 1: AsyncRollback
+    def _async_rollback(self, global_txn_id: str, xid: str, peers, coordinator: str,
+                        already_aborted: bool = False):
+        if self.config.enable_early_abort:
+            for peer in peers:
+                if peer == self.name:
+                    continue
+                self.stats.early_abort_notifications += 1
+                self.net.send(peer, protocol.MSG_PEER_ROLLBACK,
+                              {"global_txn_id": global_txn_id,
+                               "coordinator": coordinator})
+        if not already_aborted:
+            yield self.net.request(self.datasource, protocol.MSG_XA_ROLLBACK,
+                                   {"xid": xid})
+        else:
+            yield self.env.timeout(0)
+        self._send_state(coordinator, global_txn_id, protocol.STATE_ROLLBACKED)
+
+    def _on_peer_rollback(self, message: Message):
+        """A peer agent told us to abort our branch of a failing transaction."""
+        payload = dict(message.payload or {})
+        global_txn_id = payload["global_txn_id"]
+        coordinator = payload.get("coordinator")
+        self.stats.peer_rollbacks_handled += 1
+        xid = self._local_xids.get(global_txn_id)
+        if xid is None:
+            # We have not executed anything yet; poison the id so a late
+            # execute is rejected immediately instead of doing useless work.
+            self._poisoned.add(global_txn_id)
+            yield self.env.timeout(0)
+            return
+        yield self.net.request(self.datasource, protocol.MSG_XA_ROLLBACK, {"xid": xid})
+        if coordinator:
+            self._send_state(coordinator, global_txn_id, protocol.STATE_ROLLBACKED)
+
+    # ------------------------------------------------------------------ helpers
+    def _send_state(self, coordinator: Optional[str], global_txn_id: str,
+                    state: str) -> None:
+        if not coordinator:
+            return
+        self.net.send(coordinator, protocol.MSG_AGENT_PREPARE_RESULT,
+                      {"global_txn_id": global_txn_id,
+                       "datasource": self.datasource,
+                       "agent": self.name,
+                       "state": state})

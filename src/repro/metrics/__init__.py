@@ -1,0 +1,17 @@
+"""Measurement utilities: latency/throughput collection, percentiles, breakdowns."""
+
+from repro.metrics.collector import MetricsCollector, TransactionSample
+from repro.metrics.percentiles import LatencyDistribution, percentile
+from repro.metrics.timeline import ThroughputTimeline
+from repro.metrics.breakdown import PhaseBreakdown
+from repro.metrics.resources import ResourceUsage
+
+__all__ = [
+    "LatencyDistribution",
+    "MetricsCollector",
+    "PhaseBreakdown",
+    "ResourceUsage",
+    "ThroughputTimeline",
+    "TransactionSample",
+    "percentile",
+]

@@ -1,0 +1,112 @@
+"""Collection of per-transaction outcomes during an experiment run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common import TransactionResult, TxnOutcome
+from repro.metrics.percentiles import LatencyDistribution
+
+
+@dataclass
+class TransactionSample:
+    """One completed transaction as seen by a client terminal."""
+
+    txn_id: str
+    txn_type: str
+    committed: bool
+    is_distributed: bool
+    latency_ms: float
+    finished_at: float
+    abort_reason: Optional[str] = None
+    phase_breakdown: Optional[Dict[str, float]] = None
+
+
+class MetricsCollector:
+    """Aggregates transaction samples, honouring a warm-up window.
+
+    Samples finishing before ``warmup_ms`` are counted separately and excluded
+    from throughput/latency statistics, mirroring how benchmark harnesses
+    discard ramp-up measurements.
+    """
+
+    def __init__(self, warmup_ms: float = 0.0):
+        self.warmup_ms = warmup_ms
+        self.samples: List[TransactionSample] = []
+        self.warmup_samples = 0
+
+    # ------------------------------------------------------------- recording
+    def record(self, result: TransactionResult, txn_type: str = "generic") -> None:
+        """Record the outcome of one transaction."""
+        sample = TransactionSample(
+            txn_id=result.txn_id,
+            txn_type=txn_type,
+            committed=result.committed,
+            is_distributed=result.is_distributed,
+            latency_ms=result.latency_ms,
+            finished_at=result.end_time,
+            abort_reason=result.abort_reason.value if result.abort_reason else None,
+            phase_breakdown=dict(result.phase_breakdown) if result.phase_breakdown else None,
+        )
+        if result.end_time < self.warmup_ms:
+            self.warmup_samples += 1
+            return
+        self.samples.append(sample)
+
+    # ------------------------------------------------------------ aggregation
+    def _filtered(self, committed_only: bool = False, txn_type: Optional[str] = None,
+                  distributed: Optional[bool] = None) -> List[TransactionSample]:
+        out = self.samples
+        if committed_only:
+            out = [s for s in out if s.committed]
+        if txn_type is not None:
+            out = [s for s in out if s.txn_type == txn_type]
+        if distributed is not None:
+            out = [s for s in out if s.is_distributed == distributed]
+        return out
+
+    def committed_count(self, txn_type: Optional[str] = None) -> int:
+        """Number of committed transactions after warm-up."""
+        return len(self._filtered(committed_only=True, txn_type=txn_type))
+
+    def aborted_count(self, txn_type: Optional[str] = None) -> int:
+        """Number of aborted transactions after warm-up."""
+        return len([s for s in self._filtered(txn_type=txn_type) if not s.committed])
+
+    def abort_rate(self, txn_type: Optional[str] = None) -> float:
+        """Fraction of measured transactions that aborted (0 when nothing measured)."""
+        total = len(self._filtered(txn_type=txn_type))
+        if total == 0:
+            return 0.0
+        return self.aborted_count(txn_type) / total
+
+    def throughput_tps(self, measured_duration_ms: float,
+                       txn_type: Optional[str] = None) -> float:
+        """Committed transactions per second over the measured window."""
+        if measured_duration_ms <= 0:
+            return 0.0
+        return self.committed_count(txn_type) / (measured_duration_ms / 1000.0)
+
+    def latency_distribution(self, committed_only: bool = True,
+                             txn_type: Optional[str] = None,
+                             distributed: Optional[bool] = None) -> LatencyDistribution:
+        """Latency distribution of (by default committed) transactions."""
+        samples = self._filtered(committed_only=committed_only, txn_type=txn_type,
+                                 distributed=distributed)
+        return LatencyDistribution([s.latency_ms for s in samples])
+
+    def average_latency_ms(self, committed_only: bool = True,
+                           txn_type: Optional[str] = None,
+                           distributed: Optional[bool] = None) -> float:
+        """Mean latency of the selected transactions."""
+        return self.latency_distribution(committed_only, txn_type, distributed).mean
+
+    def abort_reasons(self) -> Dict[str, int]:
+        """Histogram of abort reasons after warm-up."""
+        histogram: Dict[str, int] = {}
+        for sample in self.samples:
+            if sample.committed or sample.abort_reason is None:
+                continue
+            histogram[sample.abort_reason] = histogram.get(sample.abort_reason, 0) + 1
+        return histogram

@@ -1,0 +1,85 @@
+"""Percentile and CDF helpers for latency analysis (Figure 8)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction``-quantile of ``values`` using linear interpolation.
+
+    ``fraction`` is in [0, 1]; an empty input raises ``ValueError`` so callers
+    never silently report a latency of zero.
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of no samples")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+class LatencyDistribution:
+    """A collection of latency samples with percentile / CDF accessors."""
+
+    def __init__(self, samples: Sequence[float] = ()):
+        self._samples: List[float] = list(samples)
+
+    def add(self, value: float) -> None:
+        """Record one latency sample (milliseconds)."""
+        self._samples.append(value)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        """All recorded samples, in insertion order."""
+        return list(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Average latency; 0.0 when empty."""
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def p(self, fraction: float) -> float:
+        """Latency at the given quantile (e.g. ``p(0.99)``)."""
+        return percentile(self._samples, fraction)
+
+    @property
+    def p50(self) -> float:
+        return self.p(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.p(0.99)
+
+    @property
+    def p999(self) -> float:
+        return self.p(0.999)
+
+    def cdf(self, points: int = 100) -> List[Tuple[float, float]]:
+        """Return (latency, cumulative_fraction) pairs for CDF plots.
+
+        ``points`` evenly spaced quantiles are reported, which is what the
+        Figure 8 reproduction prints.
+        """
+        if not self._samples:
+            return []
+        ordered = sorted(self._samples)
+        count = len(ordered)
+        out: List[Tuple[float, float]] = []
+        for i in range(1, points + 1):
+            fraction = i / points
+            index = min(int(round(fraction * count)) - 1, count - 1)
+            index = max(index, 0)
+            out.append((ordered[index], fraction))
+        return out

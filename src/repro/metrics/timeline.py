@@ -1,0 +1,37 @@
+"""Time-series throughput, used by the online-adaptivity experiment (Fig. 11b)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class ThroughputTimeline:
+    """Buckets committed-transaction completions into fixed-width time bins."""
+
+    def __init__(self, bucket_ms: float = 1000.0):
+        if bucket_ms <= 0:
+            raise ValueError("bucket_ms must be positive")
+        self.bucket_ms = bucket_ms
+        self._buckets: Dict[int, int] = {}
+
+    def record(self, finished_at_ms: float) -> None:
+        """Record one committed transaction finishing at the given time."""
+        index = int(finished_at_ms // self.bucket_ms)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def series(self, until_ms: float = None) -> List[Tuple[float, float]]:
+        """Return (bucket_start_ms, throughput_tps) pairs in time order."""
+        if not self._buckets:
+            return []
+        last = max(self._buckets)
+        if until_ms is not None:
+            last = max(last, int(until_ms // self.bucket_ms))
+        out: List[Tuple[float, float]] = []
+        for index in range(last + 1):
+            count = self._buckets.get(index, 0)
+            out.append((index * self.bucket_ms, count / (self.bucket_ms / 1000.0)))
+        return out
+
+    def total(self) -> int:
+        """Total number of recorded completions."""
+        return sum(self._buckets.values())

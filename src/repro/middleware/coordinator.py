@@ -1,0 +1,196 @@
+"""The baseline XA two-phase-commit coordinator (the paper's "SSP").
+
+The flow per transaction is the classic one described in §II of the paper:
+
+1. *analysis* — parse/route the statements;
+2. *execution* — for each client interaction round, dispatch the per-data-source
+   statement batches and wait for all results (one WAN round trip per round);
+3. *prepare* — on the client's commit, send ``XA PREPARE`` to every participant
+   and collect votes (a second WAN round trip);
+4. *commit* — flush the decision log, then send the final decision (a third WAN
+   round trip).  Centralized (single-participant) transactions skip the prepare
+   and commit with a single one-phase round trip.
+
+GeoTP and the other baselines subclass this coordinator and override the
+scheduling / admission / commit hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common import AbortReason, SubtxnResult, TxnOutcome, Vote
+from repro import protocol
+from repro.middleware.context import TransactionContext, TransactionPhase
+from repro.middleware.middleware import MiddlewareBase
+from repro.middleware.rewriter import SubtransactionPlan
+from repro.middleware.statements import Statement
+from repro.storage.wal import LogRecordType
+
+
+class TwoPhaseCommitCoordinator(MiddlewareBase):
+    """Standard middleware XA coordination (ShardingSphere behaviour)."""
+
+    system_name = "SSP"
+
+    # ------------------------------------------------------------------ hooks
+    def admit(self, ctx: TransactionContext):
+        """Admission control hook (GeoTP's late transaction scheduling).
+
+        Generator returning ``(admitted, abort_reason)``; the base admits all.
+        """
+        return (True, None)
+        yield  # pragma: no cover
+
+    def schedule_round(self, ctx: TransactionContext,
+                       plans: Dict[str, SubtransactionPlan],
+                       is_final_round: bool) -> Dict[str, float]:
+        """Per-participant dispatch postponement in ms (GeoTP's O2/O3); base: none."""
+        return {name: 0.0 for name in plans}
+
+    def execute_payload(self, ctx: TransactionContext, plan: SubtransactionPlan,
+                        is_final_round: bool) -> Dict:
+        """Payload of the execute request sent to a participant."""
+        return {
+            "xid": ctx.branch_xid(plan.datasource),
+            "global_txn_id": ctx.txn_id,
+            "operations": plan.operations,
+            "auto_start": True,
+        }
+
+    def on_round_complete(self, ctx: TransactionContext,
+                          results: List[SubtxnResult]) -> None:
+        """Called after every successful round (GeoTP feeds its hotspot stats here)."""
+
+    # ------------------------------------------------------------ transaction
+    def _run_transaction(self, ctx: TransactionContext):
+        yield self.env.timeout(self.config.analysis_cost_ms)
+        self.stats.work_units += ctx.spec.statement_count
+
+        admitted, admit_reason = yield from self.admit(ctx)
+        if not admitted:
+            return TxnOutcome.ABORTED, admit_reason or AbortReason.ADMISSION_BLOCKED
+
+        ctx.enter_phase(TransactionPhase.EXECUTION, self.env.now)
+        final_index = ctx.spec.round_count - 1
+        for round_index, statements in enumerate(ctx.spec.rounds):
+            ok, reason = yield from self._execute_round(
+                ctx, statements, is_final_round=(round_index == final_index))
+            if not ok:
+                yield from self._abort_all(ctx)
+                return TxnOutcome.ABORTED, reason
+
+        outcome, reason = yield from self._commit(ctx)
+        return outcome, reason
+
+    # --------------------------------------------------------------- execution
+    def _execute_round(self, ctx: TransactionContext, statements: List[Statement],
+                       is_final_round: bool):
+        """Dispatch one interaction round; returns (ok, abort_reason)."""
+        plans = self.rewriter.plan_round(statements)
+        delays = self.schedule_round(ctx, plans, is_final_round)
+        subtxn_processes = []
+        for name, plan in plans.items():
+            ctx.branch_xid(name)  # register the participant in first-touch order
+            subtxn_processes.append(self.env.process(
+                self._execute_subtransaction(ctx, plan, delays.get(name, 0.0),
+                                             is_final_round),
+                name=f"{ctx.txn_id}:exec:{name}"))
+        condition = yield self.env.all_of(subtxn_processes)
+        results: List[SubtxnResult] = [condition[p] for p in subtxn_processes]
+
+        failures = [r for r in results if not r.success]
+        for result in results:
+            ctx.results[result.datasource] = result
+            ctx.merge_record_latencies(result)
+        if failures:
+            return False, failures[0].abort_reason or AbortReason.FAILURE
+        self.on_round_complete(ctx, results)
+        return True, None
+
+    def _execute_subtransaction(self, ctx: TransactionContext, plan: SubtransactionPlan,
+                                delay_ms: float, is_final_round: bool):
+        """Send one statement batch to one participant and await its result."""
+        if delay_ms > 0:
+            yield self.env.timeout(delay_ms)
+        handle = self.participants[plan.datasource]
+        pool = self.pools.pool(plan.datasource)
+        connection = pool.acquire()
+        yield connection
+        try:
+            yield self.env.timeout(self.config.request_overhead_ms)
+            payload = self.execute_payload(ctx, plan, is_final_round)
+            result = yield self.request_participant(handle, protocol.MSG_EXECUTE, payload)
+        finally:
+            pool.release(connection)
+        return result
+
+    # ------------------------------------------------------------------ commit
+    def _commit(self, ctx: TransactionContext):
+        """Prepare and commit phases; returns (outcome, abort_reason)."""
+        ctx.enter_phase(TransactionPhase.PREPARE, self.env.now)
+        if not ctx.is_distributed:
+            return (yield from self._commit_centralized(ctx))
+        return (yield from self._commit_distributed(ctx))
+
+    def _commit_centralized(self, ctx: TransactionContext):
+        """Single-participant transactions: one-phase commit, one WAN round trip."""
+        name = ctx.participants[0]
+        handle = self.participants[name]
+        ctx.enter_phase(TransactionPhase.COMMIT, self.env.now)
+        reply = yield self.timed_request_participant(
+            handle, protocol.MSG_COMMIT_ONE_PHASE, {"xid": ctx.branch_xid(name)})
+        if isinstance(reply, dict) and reply.get("status") == "ok":
+            return TxnOutcome.COMMITTED, None
+        return TxnOutcome.ABORTED, AbortReason.FAILURE
+
+    def _commit_distributed(self, ctx: TransactionContext):
+        """Classic 2PC: prepare round trip, log flush, commit round trip."""
+        vote_events = {}
+        for name in ctx.participants:
+            handle = self.participants[name]
+            vote_events[name] = self.timed_request_participant(
+                handle, protocol.MSG_XA_PREPARE, {"xid": ctx.branch_xid(name)})
+        condition = yield self.env.all_of(list(vote_events.values()))
+        for name, event in vote_events.items():
+            reply = condition[event]
+            vote = reply.get("vote", Vote.NO) if isinstance(reply, dict) else Vote.NO
+            ctx.record_vote(name, vote)
+
+        yield from self._flush_decision_log(ctx, commit=ctx.all_yes())
+
+        ctx.enter_phase(TransactionPhase.COMMIT, self.env.now)
+        if ctx.all_yes():
+            yield from self._dispatch_decision(ctx, protocol.MSG_XA_COMMIT)
+            return TxnOutcome.COMMITTED, None
+        yield from self._dispatch_decision(ctx, protocol.MSG_XA_ROLLBACK)
+        return TxnOutcome.ABORTED, AbortReason.PREPARE_FAILED
+
+    def _flush_decision_log(self, ctx: TransactionContext, commit: bool):
+        """Persist the global commit/abort decision before dispatching it."""
+        yield self.env.timeout(self.config.log_flush_cost_ms)
+        record_type = LogRecordType.COMMIT if commit else LogRecordType.ABORT
+        self.wal.append(record_type, ctx.txn_id, self.env.now,
+                        payload={"participants": list(ctx.participants)})
+
+    def _dispatch_decision(self, ctx: TransactionContext, verb: str):
+        """Send the final decision to every participant and wait for the acks."""
+        acks = []
+        for name in ctx.participants:
+            handle = self.participants[name]
+            acks.append(self.timed_request_participant(
+                handle, verb, {"xid": ctx.branch_xid(name)}))
+        yield self.env.all_of(acks)
+
+    # ------------------------------------------------------------------- abort
+    def _abort_all(self, ctx: TransactionContext):
+        """Roll back every participant after an execution failure.
+
+        In the baseline the middleware must learn about the failure (half a WAN
+        round trip, already paid when the execute reply arrived) and then
+        dispatch rollbacks and await the acks (a further full round trip).
+        """
+        ctx.enter_phase(TransactionPhase.COMMIT, self.env.now)
+        yield from self._flush_decision_log(ctx, commit=False)
+        if ctx.participants:
+            yield from self._dispatch_decision(ctx, protocol.MSG_XA_ROLLBACK)

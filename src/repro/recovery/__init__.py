@@ -1,0 +1,6 @@
+"""Failure injection and recovery (§V-A of the paper)."""
+
+from repro.recovery.failures import FailureInjector
+from repro.recovery.recovery_manager import RecoveryManager, RecoveryReport
+
+__all__ = ["FailureInjector", "RecoveryManager", "RecoveryReport"]

@@ -1,0 +1,52 @@
+"""Failure injection helpers for the recovery tests and examples.
+
+Two failure modes from the paper are supported: crashing the database
+middleware (it is stateless apart from its decision log) and crashing a data
+source (which loses all branches that had not reached the prepared state).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro import protocol
+from repro.middleware.middleware import MiddlewareBase
+from repro.sim.environment import Environment
+from repro.sim.network import Network, NetworkInterface
+from repro.storage.datasource import DataSource
+
+
+class FailureInjector:
+    """Crashes and restarts simulated nodes."""
+
+    def __init__(self, env: Environment, network: Network):
+        self.env = env
+        self.network = network
+        self.net: NetworkInterface = network.interface("failure-injector")
+        self.injected: Dict[str, int] = {}
+
+    def crash_middleware(self, middleware: MiddlewareBase) -> None:
+        """Crash a middleware: it stops reacting to replies and async messages.
+
+        The middleware is stateless (its in-flight coordinator processes are
+        abandoned); only the flushed decision log survives, exactly as §V-A
+        assumes.
+        """
+        middleware.crashed = True
+        middleware.active_contexts.clear()
+        self.injected["middleware"] = self.injected.get("middleware", 0) + 1
+
+    def restart_middleware(self, middleware: MiddlewareBase) -> None:
+        """Bring a crashed middleware back (with an empty in-memory state)."""
+        middleware.crashed = False
+
+    def crash_datasource(self, datasource: DataSource):
+        """Generator: crash a data source node (yields until acknowledged)."""
+        self.injected["datasource"] = self.injected.get("datasource", 0) + 1
+        reply = yield self.net.request(datasource.name, protocol.MSG_CRASH, {})
+        return reply
+
+    def restart_datasource(self, datasource: DataSource):
+        """Generator: restart a crashed data source."""
+        reply = yield self.net.request(datasource.name, protocol.MSG_RESTART, {})
+        return reply

@@ -1,0 +1,124 @@
+"""The middleware's failure-recovery protocol (§V-A).
+
+Recovery answers three questions: *which* transactions need recovery, *where*
+the information needed to decide them lives, and *how* to finish them.
+
+* After a **middleware crash**, the restarted (stateless) middleware collects
+  the prepared-but-undecided branches from every data source and consults its
+  own flushed decision log: branches whose transaction has a logged decision
+  are driven to that decision; branches without one are rolled back, because
+  the transaction can never have entered the commit phase (AC3/AC4).
+* After a **data source crash**, branches that had not reached the prepared
+  state are gone (the engine aborts them on restart); the middleware rolls back
+  their sibling branches on the other data sources, and completes transactions
+  that do have a logged decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro import protocol
+from repro.middleware.middleware import MiddlewareBase
+from repro.storage.wal import LogRecordType
+
+
+@dataclass
+class RecoveryReport:
+    """What a recovery pass did."""
+
+    committed: List[str] = field(default_factory=list)
+    rolled_back: List[str] = field(default_factory=list)
+    already_finished: List[str] = field(default_factory=list)
+
+    @property
+    def total_handled(self) -> int:
+        return len(self.committed) + len(self.rolled_back) + len(self.already_finished)
+
+
+class RecoveryManager:
+    """Drives in-doubt transactions to a consistent outcome after a crash."""
+
+    def __init__(self, middleware: MiddlewareBase):
+        self.middleware = middleware
+
+    # ------------------------------------------------------------------ helpers
+    def _decision_for(self, branch_xid: str) -> LogRecordType:
+        """The logged global decision governing ``branch_xid`` (ABORT if none).
+
+        Branch xids are ``<global txn id>.<index>``; the decision log is keyed
+        by the global id.
+        """
+        global_txn_id = branch_xid.rsplit(".", 1)[0]
+        decision = self.middleware.wal.last_decision(global_txn_id)
+        return decision if decision is not None else LogRecordType.ABORT
+
+    # ----------------------------------------------------- middleware restart
+    def recover_after_middleware_crash(self):
+        """Generator: resolve every prepared-but-undecided branch in the cluster."""
+        report = RecoveryReport()
+        for name, handle in self.middleware.participants.items():
+            reply = yield self.middleware.request_participant(
+                handle, protocol.MSG_LIST_PREPARED, {})
+            prepared = reply.get("prepared", []) if isinstance(reply, dict) else []
+            for branch_xid in prepared:
+                decision = self._decision_for(branch_xid)
+                if decision is LogRecordType.COMMIT:
+                    yield self.middleware.request_participant(
+                        handle, protocol.MSG_XA_COMMIT, {"xid": branch_xid})
+                    report.committed.append(f"{name}:{branch_xid}")
+                else:
+                    yield self.middleware.request_participant(
+                        handle, protocol.MSG_XA_ROLLBACK, {"xid": branch_xid})
+                    report.rolled_back.append(f"{name}:{branch_xid}")
+        return report
+
+    # ---------------------------------------------------- data source restart
+    def recover_after_datasource_crash(self, datasource_name: str,
+                                       involved_branches: Dict[str, List[str]]):
+        """Generator: resolve transactions that touched the crashed data source.
+
+        ``involved_branches`` maps each participant name to the branch xids of
+        the affected transactions on that participant (the middleware knows
+        this from its transaction contexts or, after its own restart, from the
+        data sources' prepared lists).
+        """
+        report = RecoveryReport()
+        crashed_handle = self.middleware.participants[datasource_name]
+        for branch_xid in involved_branches.get(datasource_name, []):
+            reply = yield self.middleware.request_participant(
+                crashed_handle, protocol.MSG_TXN_STATE, {"xid": branch_xid})
+            state = reply.get("state") if isinstance(reply, dict) else "unknown"
+            decision = self._decision_for(branch_xid)
+            if state == "prepared" and decision is LogRecordType.COMMIT:
+                yield self.middleware.request_participant(
+                    crashed_handle, protocol.MSG_XA_COMMIT, {"xid": branch_xid})
+                report.committed.append(f"{datasource_name}:{branch_xid}")
+            elif state == "committed":
+                report.already_finished.append(f"{datasource_name}:{branch_xid}")
+            else:
+                # The branch's work was lost in the crash (or the transaction
+                # was never decided): abort it everywhere.  The rollback is
+                # idempotent if the restarted data source already dropped it.
+                yield self.middleware.request_participant(
+                    crashed_handle, protocol.MSG_XA_ROLLBACK, {"xid": branch_xid})
+                report.rolled_back.append(f"{datasource_name}:{branch_xid}")
+                yield from self._rollback_siblings(branch_xid, datasource_name,
+                                                   involved_branches, report)
+        return report
+
+    def _rollback_siblings(self, failed_branch: str, crashed_name: str,
+                           involved_branches: Dict[str, List[str]],
+                           report: RecoveryReport):
+        global_txn_id = failed_branch.rsplit(".", 1)[0]
+        for name, branches in involved_branches.items():
+            if name == crashed_name:
+                continue
+            handle = self.middleware.participants[name]
+            for branch_xid in branches:
+                if not branch_xid.startswith(global_txn_id + "."):
+                    continue
+                yield self.middleware.request_participant(
+                    handle, protocol.MSG_XA_ROLLBACK, {"xid": branch_xid})
+                report.rolled_back.append(f"{name}:{branch_xid}")

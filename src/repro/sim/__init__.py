@@ -1,0 +1,51 @@
+"""Discrete-event simulation engine.
+
+This package provides the simulated substrate on which every other component of
+the GeoTP reproduction runs: an event loop with a virtual millisecond clock
+(:mod:`repro.sim.environment`), generator-based processes
+(:mod:`repro.sim.process`), synchronisation primitives and resources
+(:mod:`repro.sim.events`, :mod:`repro.sim.resources`), a point-to-point network
+model with pluggable latency distributions (:mod:`repro.sim.network`,
+:mod:`repro.sim.latency`) and seeded random number utilities
+(:mod:`repro.sim.rng`).
+
+The engine follows the classic SimPy design: a process is a Python generator
+that yields events; the environment resumes the generator when the yielded
+event fires.  All timestamps are floats in simulated milliseconds.
+"""
+
+from repro.sim.environment import Environment
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Resource, Store
+from repro.sim.latency import (
+    ConstantLatency,
+    DynamicLatency,
+    JitterLatency,
+    LatencyModel,
+    RandomLatency,
+)
+from repro.sim.network import Message, Network, NetworkInterface
+from repro.sim.rng import SeededRNG, ZipfianGenerator
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "ConstantLatency",
+    "DynamicLatency",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "JitterLatency",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "NetworkInterface",
+    "Process",
+    "RandomLatency",
+    "Resource",
+    "SeededRNG",
+    "Store",
+    "Timeout",
+    "ZipfianGenerator",
+]

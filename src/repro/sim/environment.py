@@ -1,0 +1,134 @@
+"""The simulation environment: virtual clock and event queue.
+
+The :class:`Environment` owns the simulated clock (milliseconds, float) and a
+priority queue of scheduled events.  :meth:`Environment.run` pops events in
+time order and executes their callbacks, which resume waiting processes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+#: Scheduling priorities: interrupts preempt normal events at the same time.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+class EmptySchedule(Exception):
+    """Raised internally when the event queue runs dry."""
+
+
+class Environment:
+    """A discrete-event simulation environment with a millisecond clock."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now: float = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = PRIORITY_NORMAL) -> None:
+        """Enqueue ``event`` to be processed ``delay`` ms from now."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    # ------------------------------------------------------------- factories
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` ms from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        """Event that fires when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event that fires when any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    # -------------------------------------------------------------- execution
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        try:
+            when, _priority, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+
+        if not event.ok and not event.defused:
+            # An event failed and nobody was prepared to handle it: surface
+            # the error instead of silently dropping it.
+            raise event.value
+
+    def run(self, until: Optional[float] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be a time (run until the clock reaches it), an
+        :class:`Event` (run until it triggers; its value is returned), or
+        ``None`` (run until no events remain).
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until ({stop_time}) must not be in the past (now={self._now})")
+
+        while True:
+            if stop_event is not None and stop_event.processed:
+                if stop_event.ok:
+                    return stop_event.value
+                raise stop_event.value
+            next_time = self.peek()
+            if next_time == float("inf"):
+                if stop_event is not None and not stop_event.triggered:
+                    raise RuntimeError(
+                        "simulation ran out of events before the awaited event fired")
+                if stop_time is not None:
+                    self._now = stop_time
+                return None
+            if stop_time is not None and next_time > stop_time:
+                self._now = stop_time
+                return None
+            self.step()

@@ -1,0 +1,199 @@
+"""Event primitives for the discrete-event simulation engine.
+
+An :class:`Event` is a one-shot occurrence in simulated time.  Processes wait
+on events by yielding them; when the event *succeeds* (or *fails*) the waiting
+process is resumed with the event's value (or the failure exception is thrown
+into it).
+
+The composite events :class:`AllOf` and :class:`AnyOf` allow a process to wait
+for several events at once, which the middleware coordinators use to wait for
+prepare votes from many data sources.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.environment import Environment
+
+
+class Interrupt(Exception):
+    """Raised inside a process that has been interrupted by another process."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class _PendingValue:
+    """Sentinel for "this event has not been given a value yet"."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<pending>"
+
+
+PENDING = _PendingValue()
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    The lifecycle is: *pending* -> *triggered* (scheduled on the event queue)
+    -> *processed* (callbacks executed).  An event can be triggered at most
+    once, either successfully via :meth:`succeed` or with an exception via
+    :meth:`fail`.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        #: Set to True by a waiter that handles failures itself; prevents the
+        #: environment from treating an unhandled failed event as fatal.
+        self.defused: bool = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value (success or failure)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with."""
+        if self._value is PENDING:
+            raise RuntimeError("value of untriggered event is not available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with a failure carrying ``exception``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (for chaining)."""
+        if self.triggered:
+            return
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class ConditionValue:
+    """Dict-like access to the values of the events a condition waited on."""
+
+    def __init__(self, events: List[Event]):
+        self.events = events
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(repr(event))
+        return event.value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def todict(self) -> dict:
+        """Return ``{event: value}`` for each completed event."""
+        return {event: event.value for event in self.events}
+
+
+class Condition(Event):
+    """Base class for composite events over a list of child events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events belong to different environments")
+
+        if not self._events:
+            self.succeed(ConditionValue([]))
+            return
+
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _satisfied(self, count: int, total: int) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event.ok:
+            event.defused = True
+            self.fail(event.value)
+        elif self._satisfied(self._count, len(self._events)):
+            done = [e for e in self._events if e.triggered and e.ok]
+            self.succeed(ConditionValue(done))
+
+
+class AllOf(Condition):
+    """Succeeds once *all* child events have succeeded (fails on first failure)."""
+
+    def _satisfied(self, count: int, total: int) -> bool:
+        return count == total
+
+
+class AnyOf(Condition):
+    """Succeeds as soon as *any* child event succeeds."""
+
+    def _satisfied(self, count: int, total: int) -> bool:
+        return count >= 1

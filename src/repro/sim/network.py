@@ -1,0 +1,190 @@
+"""Point-to-point network model.
+
+The model mirrors the paper's deployment: a database middleware host and a set
+of geo-distributed data source hosts connected by WAN links of very different
+round-trip times, plus LAN links between a geo-agent and its co-located data
+source.  Nodes are named endpoints with an inbox; the :class:`Network` routes
+messages between them applying the per-link :class:`~repro.sim.latency.LatencyModel`.
+
+Two communication styles are supported:
+
+* one-way ``send`` — deliver a :class:`Message` to the destination inbox after
+  the one-way link delay (used for asynchronous notifications such as the
+  decentralized prepare votes and early-abort messages);
+* ``request`` — RPC-style: the caller gets an event that fires with the reply
+  value after the full round trip plus the receiver's processing time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.resources import Store
+
+_message_ids = count(1)
+
+
+@dataclass
+class Message:
+    """A network message between two named nodes."""
+
+    sender: str
+    recipient: str
+    msg_type: str
+    payload: Any = None
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+    #: Event to trigger on the sender's side when the recipient replies.
+    reply_event: Optional[Event] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Message #{self.message_id} {self.msg_type} "
+                f"{self.sender}->{self.recipient}>")
+
+
+class NetworkStats:
+    """Aggregate counters of network activity (messages and bytes proxied)."""
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.messages_by_type: Dict[str, int] = {}
+        self.total_delay_ms = 0.0
+
+    def record(self, message: Message, delay_ms: float) -> None:
+        self.messages_sent += 1
+        self.messages_by_type[message.msg_type] = (
+            self.messages_by_type.get(message.msg_type, 0) + 1)
+        self.total_delay_ms += delay_ms
+
+
+class Network:
+    """Routes messages between registered nodes with per-link latencies."""
+
+    def __init__(self, env: Environment, default_rtt_ms: float = 0.0):
+        self.env = env
+        self.default_model: LatencyModel = ConstantLatency(default_rtt_ms)
+        self._links: Dict[Tuple[str, str], LatencyModel] = {}
+        self._inboxes: Dict[str, Store] = {}
+        self.stats = NetworkStats()
+
+    # ---------------------------------------------------------------- wiring
+    def register_node(self, name: str) -> Store:
+        """Create (or return) the inbox for node ``name``."""
+        if name not in self._inboxes:
+            self._inboxes[name] = Store(self.env)
+        return self._inboxes[name]
+
+    def has_node(self, name: str) -> bool:
+        """True if ``name`` has been registered."""
+        return name in self._inboxes
+
+    def set_link(self, src: str, dst: str, model: LatencyModel,
+                 symmetric: bool = True) -> None:
+        """Set the latency model for the ``src -> dst`` link."""
+        self._links[(src, dst)] = model
+        if symmetric:
+            self._links[(dst, src)] = model
+
+    def link_model(self, src: str, dst: str) -> LatencyModel:
+        """The latency model in effect for ``src -> dst``."""
+        return self._links.get((src, dst), self.default_model)
+
+    def rtt(self, src: str, dst: str) -> float:
+        """Nominal RTT in ms between two nodes at the current time."""
+        if src == dst:
+            return 0.0
+        return self.link_model(src, dst).rtt_at(self.env.now)
+
+    def interface(self, name: str) -> "NetworkInterface":
+        """Return a bound interface for node ``name`` (registering it)."""
+        self.register_node(name)
+        return NetworkInterface(self, name)
+
+    # ------------------------------------------------------------- messaging
+    def send(self, message: Message) -> float:
+        """Deliver ``message`` after the one-way link delay; return the delay."""
+        if message.recipient not in self._inboxes:
+            raise KeyError(f"unknown network node {message.recipient!r}")
+        message.sent_at = self.env.now
+        if message.sender == message.recipient:
+            delay = 0.0
+        else:
+            model = self.link_model(message.sender, message.recipient)
+            delay = model.sample_one_way(self.env.now)
+        self.stats.record(message, delay)
+
+        inbox = self._inboxes[message.recipient]
+
+        def deliver(_event: Event, msg: Message = message, box: Store = inbox) -> None:
+            msg.delivered_at = self.env.now
+            box.put(msg)
+
+        trigger = self.env.timeout(delay)
+        trigger.callbacks.append(deliver)
+        return delay
+
+    def deliver_reply(self, original: Message, value: Any) -> None:
+        """Send the reply for an RPC ``original`` back to its sender."""
+        if original.reply_event is None:
+            raise ValueError("message was not sent as a request; it has no reply event")
+        if original.sender == original.recipient:
+            delay = 0.0
+        else:
+            model = self.link_model(original.recipient, original.sender)
+            delay = model.sample_one_way(self.env.now)
+
+        reply_event = original.reply_event
+
+        def fire(_event: Event) -> None:
+            if not reply_event.triggered:
+                reply_event.succeed(value)
+
+        trigger = self.env.timeout(delay)
+        trigger.callbacks.append(fire)
+
+
+class NetworkInterface:
+    """A node's handle on the network: typed helpers bound to its name."""
+
+    def __init__(self, network: Network, name: str):
+        self.network = network
+        self.name = name
+        self.inbox: Store = network.register_node(name)
+
+    @property
+    def env(self) -> Environment:
+        return self.network.env
+
+    def send(self, recipient: str, msg_type: str, payload: Any = None) -> Message:
+        """Fire-and-forget message to ``recipient``."""
+        message = Message(sender=self.name, recipient=recipient,
+                          msg_type=msg_type, payload=payload)
+        self.network.send(message)
+        return message
+
+    def request(self, recipient: str, msg_type: str, payload: Any = None) -> Event:
+        """RPC to ``recipient``; the returned event fires with the reply value."""
+        reply_event = Event(self.env)
+        message = Message(sender=self.name, recipient=recipient,
+                          msg_type=msg_type, payload=payload,
+                          reply_event=reply_event)
+        self.network.send(message)
+        return reply_event
+
+    def reply(self, message: Message, value: Any) -> None:
+        """Answer an RPC message previously received in our inbox."""
+        self.network.deliver_reply(message, value)
+
+    def receive(self) -> Event:
+        """Event firing with the next message in our inbox."""
+        return self.inbox.get()
+
+    def rtt_to(self, other: str) -> float:
+        """Nominal RTT to another node at the current simulated time."""
+        return self.network.rtt(self.name, other)

@@ -1,0 +1,110 @@
+"""Generator-based processes for the simulation engine.
+
+A :class:`Process` wraps a Python generator.  Each ``yield`` hands an
+:class:`~repro.sim.events.Event` to the environment; the generator is resumed
+with the event's value once it fires.  A process is itself an event that
+triggers when the generator returns (its value is the generator's return
+value), so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.sim.events import Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.environment import Environment
+
+
+class Process(Event):
+    """An active simulation process driving a generator of events."""
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._target: Any = None
+        # Kick the process off at the current simulation time.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Any:
+        """The event this process is currently waiting for (if any)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise RuntimeError("cannot interrupt a finished process")
+        if self.env.active_process is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.defused = True
+        interrupt_event.callbacks = [self._resume]
+        self.env.schedule(interrupt_event, priority=0)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        env = self.env
+        # Drop our subscription on the event we were waiting for: a process
+        # interrupted while waiting must not be resumed again by that event.
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None and self._resume in self._target.callbacks:
+                self._target.callbacks.remove(self._resume)
+        self._target = None
+
+        env._active_process = self
+        while True:
+            try:
+                if event.ok:
+                    next_event = self._generator.send(event.value)
+                else:
+                    event.defused = True
+                    next_event = self._generator.throw(event.value)
+            except StopIteration as stop:
+                env._active_process = None
+                self._ok = True
+                self._value = getattr(stop, "value", None)
+                env.schedule(self)
+                return
+            except BaseException as exc:  # noqa: BLE001 - process failure propagates as event failure
+                env._active_process = None
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                return
+
+            if not isinstance(next_event, Event):
+                env._active_process = None
+                error = RuntimeError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}")
+                self._ok = False
+                self._value = error
+                env.schedule(self)
+                return
+
+            if next_event.processed:
+                # Already fired: loop immediately with its value.
+                event = next_event
+                continue
+
+            # Subscribe and suspend.
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+            env._active_process = None
+            return
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"

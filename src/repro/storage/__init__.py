@@ -1,0 +1,45 @@
+"""Simulated data-source layer.
+
+Each data source models the parts of MySQL / PostgreSQL that matter to the
+paper's experiments: key-value tables (:mod:`repro.storage.engine`), a strict
+two-phase-locking lock manager with FIFO waiting and lock-wait timeouts
+(:mod:`repro.storage.lock_manager`), a write-ahead log
+(:mod:`repro.storage.wal`), the XA local transaction state machine
+(:mod:`repro.storage.transaction`) and SQL-dialect profiles capturing the
+differences between MySQL and PostgreSQL data sources
+(:mod:`repro.storage.dialects`).  :mod:`repro.storage.datasource` ties these
+together into a network-attached node process.
+"""
+
+from repro.storage.dialects import Dialect, MySQLDialect, PostgreSQLDialect
+from repro.storage.datasource import DataSource, DataSourceConfig
+from repro.storage.engine import StorageEngine, Table
+from repro.storage.lock_manager import (
+    DeadlockError,
+    LockManager,
+    LockMode,
+    LockTimeoutError,
+)
+from repro.storage.record import Record
+from repro.storage.transaction import LocalTransaction, TxnState
+from repro.storage.wal import LogRecordType, WALRecord, WriteAheadLog
+
+__all__ = [
+    "DataSource",
+    "DataSourceConfig",
+    "DeadlockError",
+    "Dialect",
+    "LocalTransaction",
+    "LockManager",
+    "LockMode",
+    "LockTimeoutError",
+    "LogRecordType",
+    "MySQLDialect",
+    "PostgreSQLDialect",
+    "Record",
+    "StorageEngine",
+    "Table",
+    "TxnState",
+    "WALRecord",
+    "WriteAheadLog",
+]

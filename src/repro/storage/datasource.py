@@ -1,0 +1,389 @@
+"""A network-attached simulated data source (MySQL- or PostgreSQL-like node).
+
+The data source is a simulation process listening on its network inbox.  Every
+incoming request is handled in its own sub-process so that many subtransactions
+can execute concurrently and block on record locks independently, exactly as
+sessions do in a real database server.
+
+Supported verbs (see :mod:`repro.protocol`):
+
+* XA lifecycle: ``xa_start``, ``execute``, ``xa_end``, ``xa_prepare``,
+  ``xa_commit``, ``xa_rollback``, ``commit_one_phase``;
+* recovery support: ``list_prepared``, ``txn_state``, ``crash``, ``restart``;
+* a plain key-value interface (``kv_get`` / ``kv_put`` / ``kv_put_if_version``)
+  used by the ScalarDB-style baseline, which keeps concurrency control in the
+  middleware instead of the data source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.common import AbortReason, Operation, OperationResult, OpType, SubtxnResult, Vote
+from repro import protocol
+from repro.sim.environment import Environment
+from repro.sim.network import Message, Network, NetworkInterface
+from repro.storage.dialects import Dialect, MySQLDialect
+from repro.storage.engine import StorageEngine
+from repro.storage.lock_manager import (
+    DeadlockError,
+    LockManager,
+    LockMode,
+    LockTimeoutError,
+)
+from repro.storage.transaction import LocalTransaction, TxnState
+from repro.storage.wal import LogRecordType, WriteAheadLog
+
+
+@dataclass
+class DataSourceConfig:
+    """Static configuration of one data source node."""
+
+    name: str
+    dialect: Dialect = field(default_factory=MySQLDialect)
+    #: Lock-wait timeout; the paper configures 5 s on MySQL/PostgreSQL.
+    lock_wait_timeout_ms: float = 5000.0
+    #: Extra fixed cost charged per request for parsing / session handling.
+    request_overhead_ms: float = 0.1
+    enable_deadlock_detection: bool = False
+
+
+class DataSourceStats:
+    """Operational counters of one data source (used for resource accounting)."""
+
+    def __init__(self) -> None:
+        self.requests_handled = 0
+        self.operations_executed = 0
+        self.commits = 0
+        self.aborts = 0
+        self.prepares = 0
+        self.busy_ms = 0.0
+
+
+class DataSource:
+    """One simulated database node."""
+
+    def __init__(self, env: Environment, network: Network, config: DataSourceConfig):
+        self.env = env
+        self.config = config
+        self.name = config.name
+        self.dialect = config.dialect
+        self.engine = StorageEngine(name=config.name)
+        self.lock_manager = LockManager(
+            env,
+            lock_wait_timeout_ms=config.lock_wait_timeout_ms,
+            enable_deadlock_detection=config.enable_deadlock_detection,
+        )
+        self.wal = WriteAheadLog(flush_cost_ms=self.dialect.prepare_cost_ms)
+        self.net: NetworkInterface = network.interface(config.name)
+        self.stats = DataSourceStats()
+        self.transactions: Dict[str, LocalTransaction] = {}
+        self.crashed = False
+        self._process = env.process(self._serve(), name=f"datasource:{config.name}")
+
+    # ------------------------------------------------------------------ loading
+    def load_table(self, table_name: str, rows: Dict[Hashable, object]) -> None:
+        """Bulk-load committed rows into a table (setup only, no locking)."""
+        for key, value in rows.items():
+            self.engine.load(table_name, key, value)
+
+    # ------------------------------------------------------------------- server
+    def _serve(self):
+        while True:
+            message = yield self.net.receive()
+            if self.crashed and message.msg_type != protocol.MSG_RESTART:
+                # A crashed node neither executes nor replies; callers block.
+                continue
+            self.env.process(self._handle(message),
+                             name=f"{self.name}:{message.msg_type}")
+
+    def _handle(self, message: Message):
+        self.stats.requests_handled += 1
+        handler = {
+            protocol.MSG_XA_START: self._on_xa_start,
+            protocol.MSG_EXECUTE: self._on_execute,
+            protocol.MSG_XA_END: self._on_xa_end,
+            protocol.MSG_XA_PREPARE: self._on_xa_prepare,
+            protocol.MSG_XA_COMMIT: self._on_xa_commit,
+            protocol.MSG_XA_ROLLBACK: self._on_xa_rollback,
+            protocol.MSG_COMMIT_ONE_PHASE: self._on_commit_one_phase,
+            protocol.MSG_LIST_PREPARED: self._on_list_prepared,
+            protocol.MSG_TXN_STATE: self._on_txn_state,
+            protocol.MSG_KV_GET: self._on_kv_get,
+            protocol.MSG_KV_PUT: self._on_kv_put,
+            protocol.MSG_KV_PUT_IF_VERSION: self._on_kv_put_if_version,
+            protocol.MSG_CRASH: self._on_crash,
+            protocol.MSG_RESTART: self._on_restart,
+            protocol.MSG_PING: self._on_ping,
+        }.get(message.msg_type)
+        if handler is None:
+            if message.reply_event is not None:
+                self.net.reply(message, {"status": "error",
+                                         "error": f"unknown verb {message.msg_type}"})
+            return
+        yield from handler(message)
+
+    def _reply(self, message: Message, value) -> None:
+        if message.reply_event is not None:
+            self.net.reply(message, value)
+
+    # --------------------------------------------------------------- XA verbs
+    def _on_xa_start(self, message: Message):
+        payload = message.payload or {}
+        xid = payload["xid"]
+        global_txn_id = payload.get("global_txn_id", xid)
+        yield self.env.timeout(self.config.request_overhead_ms)
+        self.transactions[xid] = LocalTransaction(
+            xid=xid, global_txn_id=global_txn_id, started_at=self.env.now)
+        self._reply(message, {"status": "ok"})
+
+    def _on_execute(self, message: Message):
+        payload = message.payload or {}
+        xid = payload["xid"]
+        operations: List[Operation] = payload.get("operations", [])
+        txn = self.transactions.get(xid)
+        if txn is None and payload.get("auto_start"):
+            # XA START pipelined with the first statement batch, as real
+            # middlewares do to avoid spending a WAN round trip on BEGIN.
+            txn = LocalTransaction(xid=xid,
+                                   global_txn_id=payload.get("global_txn_id", xid),
+                                   started_at=self.env.now)
+            self.transactions[xid] = txn
+        if txn is None or txn.state is not TxnState.ACTIVE:
+            state = txn.state.value if txn else "missing"
+            self._reply(message, SubtxnResult(
+                xid=xid, datasource=self.name, success=False,
+                error=f"transaction {xid} not active ({state})",
+                abort_reason=AbortReason.FAILURE))
+            return
+
+        started = self.env.now
+        yield self.env.timeout(self.config.request_overhead_ms)
+        results: List[OperationResult] = []
+        per_record: Dict[Tuple[str, Hashable], float] = {}
+        for operation in operations:
+            if txn.state is not TxnState.ACTIVE:
+                # The branch was rolled back (peer abort / coordinator rollback)
+                # while this statement batch was still executing or waiting.
+                self._reply(message, SubtxnResult(
+                    xid=xid, datasource=self.name, success=False,
+                    results=results, error="transaction aborted concurrently",
+                    abort_reason=AbortReason.PEER_ABORT,
+                    local_execution_ms=self.env.now - started,
+                    per_record_latency=per_record))
+                return
+            op_started = self.env.now
+            mode = LockMode.EXCLUSIVE if operation.is_write else LockMode.SHARED
+            lock_event = self.lock_manager.acquire(xid, operation.record_id(), mode)
+            try:
+                yield lock_event
+            except (LockTimeoutError, DeadlockError) as exc:
+                reason = (AbortReason.DEADLOCK if isinstance(exc, DeadlockError)
+                          else AbortReason.LOCK_TIMEOUT)
+                if not txn.is_finished:
+                    yield from self._abort_locally(txn)
+                self._reply(message, SubtxnResult(
+                    xid=xid, datasource=self.name, success=False,
+                    results=results, error=str(exc), abort_reason=reason,
+                    local_execution_ms=self.env.now - started,
+                    per_record_latency=per_record))
+                return
+            if txn.first_lock_at is None:
+                txn.first_lock_at = self.env.now
+            txn.locked_keys.add(operation.record_id())
+            txn.accessed_records.append(operation.record_id())
+
+            cost = (self.dialect.write_cost_ms if operation.is_write
+                    else self.dialect.read_cost_ms)
+            yield self.env.timeout(cost)
+            self.stats.operations_executed += 1
+            self.stats.busy_ms += cost
+
+            if operation.op_type is OpType.READ:
+                snapshot = self.engine.read(xid, operation.table, operation.key)
+                value = snapshot.value if snapshot is not None else None
+                results.append(OperationResult(operation=operation, success=True,
+                                               value=value))
+            else:
+                self.engine.buffer_write(xid, operation.table, operation.key,
+                                         operation.value)
+                results.append(OperationResult(operation=operation, success=True))
+            per_record[operation.record_id()] = (
+                per_record.get(operation.record_id(), 0.0)
+                + (self.env.now - op_started))
+
+        prepared = False
+        if payload.get("prepare_after"):
+            # Execute-and-prepare merging (used by the Chiller baseline): the
+            # branch is prepared before the reply so the caller's execution
+            # round trip doubles as its prepare round trip.
+            yield self.env.timeout(self.dialect.prepare_cost_ms)
+            self.wal.append(LogRecordType.PREPARE, xid, self.env.now,
+                            payload={"writes": len(self.engine.write_set(xid))})
+            txn.mark_prepared()
+            self.stats.prepares += 1
+            prepared = True
+
+        self._reply(message, SubtxnResult(
+            xid=xid, datasource=self.name, success=True, results=results,
+            local_execution_ms=self.env.now - started,
+            per_record_latency=per_record, prepared=prepared))
+
+    def _on_xa_end(self, message: Message):
+        xid = (message.payload or {})["xid"]
+        txn = self.transactions.get(xid)
+        yield self.env.timeout(self.config.request_overhead_ms)
+        if txn is None or txn.state is not TxnState.ACTIVE:
+            self._reply(message, {"status": "error", "error": "not active"})
+            return
+        txn.mark_end()
+        self._reply(message, {"status": "ok"})
+
+    def _on_xa_prepare(self, message: Message):
+        xid = (message.payload or {})["xid"]
+        txn = self.transactions.get(xid)
+        if txn is None or txn.state not in (TxnState.ACTIVE, TxnState.IDLE):
+            yield self.env.timeout(self.config.request_overhead_ms)
+            self._reply(message, {"vote": Vote.NO,
+                                  "error": "transaction not preparable"})
+            return
+        # Persist transaction state + WAL (the paper's prepare cost, Fig. 6c).
+        yield self.env.timeout(self.dialect.prepare_cost_ms)
+        self.wal.append(LogRecordType.PREPARE, xid, self.env.now,
+                        payload={"writes": len(self.engine.write_set(xid))})
+        txn.mark_prepared()
+        self.stats.prepares += 1
+        self._reply(message, {"vote": Vote.YES})
+
+    def _on_xa_commit(self, message: Message):
+        xid = (message.payload or {})["xid"]
+        txn = self.transactions.get(xid)
+        if txn is None:
+            yield self.env.timeout(self.config.request_overhead_ms)
+            self._reply(message, {"status": "error", "error": "unknown xid"})
+            return
+        if txn.state is TxnState.COMMITTED:
+            # Idempotent: recovery may re-send the decision.
+            yield self.env.timeout(self.config.request_overhead_ms)
+            self._reply(message, {"status": "ok", "already": True})
+            return
+        yield self.env.timeout(self.dialect.commit_cost_ms)
+        self.engine.commit_writes(xid)
+        self.wal.append(LogRecordType.COMMIT, xid, self.env.now)
+        txn.mark_committed(self.env.now)
+        self.lock_manager.release_all(xid)
+        self.stats.commits += 1
+        self._reply(message, {"status": "ok"})
+
+    def _on_xa_rollback(self, message: Message):
+        xid = (message.payload or {})["xid"]
+        txn = self.transactions.get(xid)
+        yield self.env.timeout(self.config.request_overhead_ms)
+        if txn is None:
+            self._reply(message, {"status": "ok", "already": True})
+            return
+        if txn.state is TxnState.ABORTED:
+            self._reply(message, {"status": "ok", "already": True})
+            return
+        if txn.state is TxnState.COMMITTED:
+            self._reply(message, {"status": "error", "error": "already committed"})
+            return
+        yield from self._abort_locally(txn)
+        self._reply(message, {"status": "ok"})
+
+    def _on_commit_one_phase(self, message: Message):
+        """Single-source transactions commit without a separate prepare."""
+        xid = (message.payload or {})["xid"]
+        txn = self.transactions.get(xid)
+        if txn is None or txn.is_finished:
+            yield self.env.timeout(self.config.request_overhead_ms)
+            self._reply(message, {"status": "error", "error": "not committable"})
+            return
+        yield self.env.timeout(self.dialect.commit_cost_ms)
+        self.engine.commit_writes(xid)
+        self.wal.append(LogRecordType.COMMIT, xid, self.env.now)
+        txn.mark_committed_one_phase(self.env.now)
+        self.lock_manager.release_all(xid)
+        self.stats.commits += 1
+        self._reply(message, {"status": "ok"})
+
+    def _abort_locally(self, txn: LocalTransaction):
+        if txn.is_finished:
+            return
+        yield self.env.timeout(self.dialect.commit_cost_ms / 2)
+        if txn.is_finished:
+            # Another handler (e.g. a peer-abort rollback racing with a lock
+            # timeout) finished the branch while we were paying the abort cost.
+            return
+        self.engine.discard_writes(txn.xid)
+        self.wal.append(LogRecordType.ABORT, txn.xid, self.env.now)
+        txn.mark_aborted(self.env.now)
+        self.lock_manager.release_all(txn.xid)
+        self.stats.aborts += 1
+
+    # --------------------------------------------------------------- recovery
+    def _on_list_prepared(self, message: Message):
+        yield self.env.timeout(self.config.request_overhead_ms)
+        prepared = [xid for xid, txn in self.transactions.items()
+                    if txn.state is TxnState.PREPARED]
+        self._reply(message, {"prepared": prepared})
+
+    def _on_txn_state(self, message: Message):
+        xid = (message.payload or {})["xid"]
+        yield self.env.timeout(self.config.request_overhead_ms)
+        txn = self.transactions.get(xid)
+        self._reply(message, {"state": txn.state.value if txn else "unknown"})
+
+    def _on_crash(self, message: Message):
+        """Crash the node: in-flight work is lost, non-prepared branches abort."""
+        yield self.env.timeout(0)
+        self.crashed = True
+        for txn in list(self.transactions.values()):
+            if txn.state in (TxnState.ACTIVE, TxnState.IDLE):
+                self.engine.discard_writes(txn.xid)
+                txn.mark_aborted(self.env.now)
+                self.lock_manager.release_all(txn.xid)
+        self._reply(message, {"status": "crashed"})
+
+    def _on_restart(self, message: Message):
+        """Restart after a crash: prepared branches survive, the rest are gone."""
+        yield self.env.timeout(1.0)
+        self.crashed = False
+        self._reply(message, {"status": "restarted"})
+
+    def _on_ping(self, message: Message):
+        yield self.env.timeout(0)
+        self._reply(message, {"status": "ok", "time": self.env.now})
+
+    # ------------------------------------------------- key-value verbs (ScalarDB)
+    def _on_kv_get(self, message: Message):
+        payload = message.payload or {}
+        yield self.env.timeout(self.config.request_overhead_ms + self.dialect.read_cost_ms)
+        record = self.engine.table(payload["table"]).get(payload["key"])
+        if record is None:
+            self._reply(message, {"found": False})
+        else:
+            self._reply(message, {"found": True, "value": record.value,
+                                  "version": record.version})
+
+    def _on_kv_put(self, message: Message):
+        payload = message.payload or {}
+        yield self.env.timeout(self.config.request_overhead_ms + self.dialect.write_cost_ms)
+        record = self.engine.table(payload["table"]).put(
+            payload["key"], payload["value"], writer=payload.get("writer", "kv"))
+        self._reply(message, {"status": "ok", "version": record.version})
+
+    def _on_kv_put_if_version(self, message: Message):
+        """Conditional write used by middleware-side concurrency control."""
+        payload = message.payload or {}
+        yield self.env.timeout(self.config.request_overhead_ms + self.dialect.write_cost_ms)
+        table = self.engine.table(payload["table"])
+        record = table.get(payload["key"])
+        current_version = record.version if record else 0
+        if current_version != payload["expected_version"]:
+            self._reply(message, {"status": "conflict", "version": current_version})
+            return
+        record = table.put(payload["key"], payload["value"],
+                           writer=payload.get("writer", "kv"))
+        self._reply(message, {"status": "ok", "version": record.version})

@@ -1,0 +1,121 @@
+"""Key-value storage engine of a simulated data source.
+
+Tables map keys to :class:`~repro.storage.record.Record` objects.  Writes made
+by in-flight transactions are buffered per transaction in a write set and only
+installed at commit time, which makes rollback trivial and matches the
+"committed state only" view that strict 2PL provides to readers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.storage.record import Record, RecordSnapshot
+
+RecordId = Tuple[str, Hashable]
+
+
+class Table:
+    """A named collection of records."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._records: Dict[Hashable, Record] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._records
+
+    def get(self, key: Hashable) -> Optional[Record]:
+        """The record for ``key`` or None."""
+        return self._records.get(key)
+
+    def put(self, key: Hashable, value: Any, writer: str = "loader") -> Record:
+        """Insert or overwrite the committed value of ``key``."""
+        record = self._records.get(key)
+        if record is None:
+            record = Record(key=key)
+            self._records[key] = record
+        record.apply_write(value, writer)
+        return record
+
+    def keys(self) -> Iterable[Hashable]:
+        """Iterate over all keys in the table."""
+        return self._records.keys()
+
+
+class StorageEngine:
+    """All tables of one data source plus per-transaction write buffers."""
+
+    def __init__(self, name: str = "engine"):
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+        self._write_sets: Dict[str, Dict[RecordId, Any]] = {}
+
+    # ------------------------------------------------------------------ schema
+    def create_table(self, table_name: str) -> Table:
+        """Create a table if it does not exist and return it."""
+        if table_name not in self._tables:
+            self._tables[table_name] = Table(table_name)
+        return self._tables[table_name]
+
+    def table(self, table_name: str) -> Table:
+        """Return an existing table, creating it lazily for convenience."""
+        return self.create_table(table_name)
+
+    def table_names(self) -> List[str]:
+        """Names of all tables."""
+        return list(self._tables)
+
+    def record_count(self) -> int:
+        """Total number of committed records across tables."""
+        return sum(len(table) for table in self._tables.values())
+
+    # ------------------------------------------------------------------- loads
+    def load(self, table_name: str, key: Hashable, value: Any) -> None:
+        """Bulk-load a committed record (no locking, used during setup)."""
+        self.create_table(table_name).put(key, value)
+
+    # -------------------------------------------------------------------- reads
+    def read(self, txn_id: str, table_name: str, key: Hashable) -> Optional[RecordSnapshot]:
+        """Read the latest value visible to ``txn_id``.
+
+        A transaction sees its own buffered writes; otherwise the committed
+        record value (strict 2PL guarantees no other uncommitted writer).
+        """
+        write_set = self._write_sets.get(txn_id)
+        if write_set and (table_name, key) in write_set:
+            buffered = write_set[(table_name, key)]
+            record = self.table(table_name).get(key)
+            version = record.version if record else 0
+            return RecordSnapshot(key=key, value=buffered, version=version)
+        record = self.table(table_name).get(key)
+        if record is None:
+            return None
+        return RecordSnapshot.of(record)
+
+    # ------------------------------------------------------------------- writes
+    def buffer_write(self, txn_id: str, table_name: str, key: Hashable, value: Any) -> None:
+        """Record an uncommitted write in the transaction's write set."""
+        self._write_sets.setdefault(txn_id, {})[(table_name, key)] = value
+
+    def write_set(self, txn_id: str) -> Dict[RecordId, Any]:
+        """The buffered writes of ``txn_id`` (may be empty)."""
+        return dict(self._write_sets.get(txn_id, {}))
+
+    def commit_writes(self, txn_id: str) -> int:
+        """Install all buffered writes of ``txn_id``; return how many."""
+        write_set = self._write_sets.pop(txn_id, {})
+        for (table_name, key), value in write_set.items():
+            self.table(table_name).put(key, value, writer=txn_id)
+        return len(write_set)
+
+    def discard_writes(self, txn_id: str) -> int:
+        """Drop all buffered writes of ``txn_id``; return how many were dropped."""
+        return len(self._write_sets.pop(txn_id, {}))
+
+    def has_pending_writes(self, txn_id: str) -> bool:
+        """True if the transaction still has a buffered write set."""
+        return txn_id in self._write_sets

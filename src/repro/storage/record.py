@@ -1,0 +1,45 @@
+"""Record objects stored by the simulated data sources."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+
+@dataclass
+class Record:
+    """A single versioned record.
+
+    ``version`` increments on every committed write; the ScalarDB baseline and
+    the recovery tests use it to detect lost or duplicated updates.
+    """
+
+    key: Hashable
+    value: Any = None
+    version: int = 0
+    last_writer: str = ""
+
+    def apply_write(self, value: Any, writer: str) -> None:
+        """Install a new committed value written by transaction ``writer``."""
+        self.value = value
+        self.version += 1
+        self.last_writer = writer
+
+    def copy(self) -> "Record":
+        """Shallow copy (used when handing records across the network model)."""
+        return Record(key=self.key, value=self.value, version=self.version,
+                      last_writer=self.last_writer)
+
+
+@dataclass
+class RecordSnapshot:
+    """Immutable view of a record returned by reads."""
+
+    key: Hashable
+    value: Any
+    version: int
+
+    @classmethod
+    def of(cls, record: Record) -> "RecordSnapshot":
+        """Snapshot the current committed state of ``record``."""
+        return cls(key=record.key, value=record.value, version=record.version)

@@ -1,0 +1,81 @@
+"""Write-ahead log of a simulated data source (and of the middleware).
+
+Only the structure needed by the paper's recovery protocol (§V-A) is modelled:
+append-only records for PREPARE / COMMIT / ABORT decisions plus a flush cost in
+simulated milliseconds.  The recovery manager replays these records after a
+crash to decide the fate of in-doubt transactions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class LogRecordType(enum.Enum):
+    """The kinds of decisions persisted to the log."""
+
+    PREPARE = "prepare"
+    COMMIT = "commit"
+    ABORT = "abort"
+
+
+@dataclass
+class WALRecord:
+    """One persisted log entry."""
+
+    record_type: LogRecordType
+    xid: str
+    timestamp: float
+    payload: Dict = field(default_factory=dict)
+
+
+class WriteAheadLog:
+    """Append-only durable log with a fixed flush latency."""
+
+    def __init__(self, flush_cost_ms: float = 1.0):
+        self.flush_cost_ms = flush_cost_ms
+        self._records: List[WALRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(self, record_type: LogRecordType, xid: str, timestamp: float,
+               payload: Optional[Dict] = None) -> WALRecord:
+        """Append a record (the caller is responsible for charging flush time)."""
+        record = WALRecord(record_type=record_type, xid=xid,
+                           timestamp=timestamp, payload=dict(payload or {}))
+        self._records.append(record)
+        return record
+
+    def records(self) -> List[WALRecord]:
+        """All records in append order."""
+        return list(self._records)
+
+    def records_for(self, xid: str) -> List[WALRecord]:
+        """All records belonging to transaction ``xid``."""
+        return [r for r in self._records if r.xid == xid]
+
+    def last_decision(self, xid: str) -> Optional[LogRecordType]:
+        """The final COMMIT/ABORT decision recorded for ``xid``, if any."""
+        for record in reversed(self._records):
+            if record.xid == xid and record.record_type in (
+                    LogRecordType.COMMIT, LogRecordType.ABORT):
+                return record.record_type
+        return None
+
+    def prepared_xids(self) -> List[str]:
+        """Xids with a PREPARE record but no final decision (in-doubt)."""
+        decided = {r.xid for r in self._records
+                   if r.record_type in (LogRecordType.COMMIT, LogRecordType.ABORT)}
+        seen: List[str] = []
+        for record in self._records:
+            if (record.record_type is LogRecordType.PREPARE
+                    and record.xid not in decided and record.xid not in seen):
+                seen.append(record.xid)
+        return seen
+
+    def truncate(self) -> None:
+        """Discard all records (only used to model log archiving in tests)."""
+        self._records.clear()

@@ -1,0 +1,15 @@
+"""Workload generators: YCSB and TPC-C, as configured in the paper's evaluation."""
+
+from repro.workloads.base import Workload, WorkloadConfig
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload, CONTENTION_SKEW
+from repro.workloads.tpcc import TPCCConfig, TPCCWorkload
+
+__all__ = [
+    "CONTENTION_SKEW",
+    "TPCCConfig",
+    "TPCCWorkload",
+    "Workload",
+    "WorkloadConfig",
+    "YCSBConfig",
+    "YCSBWorkload",
+]

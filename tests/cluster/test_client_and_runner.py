@@ -1,0 +1,93 @@
+"""Integration tests: client terminals and the experiment runner."""
+
+import pytest
+
+from repro import ExperimentConfig, GeoTPConfig, TPCCConfig, TopologyConfig, YCSBConfig, run_experiment
+from repro.bench.runner import make_workload
+from repro.cluster import TopologyConfig as ClusterTopology
+from repro.cluster import build_cluster, start_terminals
+from repro.metrics import MetricsCollector
+from repro.workloads import YCSBWorkload
+
+
+SMALL_YCSB = YCSBConfig(records_per_node=1000, preload_rows_per_node=200,
+                        skew=0.5, distributed_ratio=0.2)
+
+
+def test_terminals_drive_transactions_closed_loop():
+    topology = ClusterTopology.from_rtts([5, 30])
+    workload = YCSBWorkload(topology.node_names(), SMALL_YCSB)
+    cluster = build_cluster("ssp", topology, workload.make_partitioner())
+    cluster.load_workload(workload)
+    collector = MetricsCollector()
+    terminals = start_terminals(cluster.env, cluster.middlewares, workload, collector,
+                                terminal_count=4, duration_ms=3000)
+    cluster.env.run(until=3000)
+    assert len(terminals) == 4
+    assert collector.committed_count() > 0
+    assert all(t.transactions_run > 0 for t in terminals)
+
+
+def test_start_terminals_validates_arguments():
+    topology = ClusterTopology.from_rtts([5])
+    workload = YCSBWorkload(topology.node_names(), SMALL_YCSB)
+    cluster = build_cluster("ssp", topology, workload.make_partitioner())
+    collector = MetricsCollector()
+    with pytest.raises(ValueError):
+        start_terminals(cluster.env, cluster.middlewares, workload, collector,
+                        terminal_count=0, duration_ms=100)
+    with pytest.raises(ValueError):
+        start_terminals(cluster.env, [], workload, collector,
+                        terminal_count=1, duration_ms=100)
+
+
+def test_run_experiment_returns_consistent_metrics():
+    config = ExperimentConfig(system="geotp", terminals=8, duration_ms=4000,
+                              warmup_ms=500, ycsb=SMALL_YCSB)
+    result = run_experiment(config)
+    assert result.system == "geotp"
+    assert result.committed > 0
+    assert result.throughput_tps == pytest.approx(
+        result.committed / ((4000 - 500) / 1000.0))
+    assert 0 <= result.abort_rate <= 1
+    assert result.average_latency_ms > 0
+    assert "execution" in result.breakdown
+    assert result.resources.committed >= result.committed
+
+
+def test_run_experiment_rejects_bad_warmup_and_unknown_workload():
+    with pytest.raises(ValueError):
+        run_experiment(ExperimentConfig(duration_ms=1000, warmup_ms=2000))
+    with pytest.raises(ValueError):
+        make_workload(ExperimentConfig(workload="nosuch"), ["ds0"])
+
+
+def test_run_experiment_tpcc_reports_per_type_metrics():
+    config = ExperimentConfig(
+        system="ssp", workload="tpcc", terminals=8, duration_ms=4000, warmup_ms=500,
+        tpcc=TPCCConfig(warehouses_per_node=2, customers_per_district=10,
+                        item_count=50, mix={"payment": 1.0}))
+    result = run_experiment(config)
+    assert result.committed > 0
+    assert result.throughput_for("payment") == pytest.approx(result.throughput_tps)
+    assert result.average_latency_for("payment") > 0
+
+
+def test_run_experiment_timeline_and_multi_middleware():
+    config = ExperimentConfig(system="geotp", terminals=8, duration_ms=4000,
+                              warmup_ms=500, ycsb=SMALL_YCSB,
+                              topology=TopologyConfig.multi_middleware(),
+                              timeline_bucket_ms=1000)
+    result = run_experiment(config, keep_cluster=True)
+    assert result.timeline is not None
+    assert result.timeline.total() >= result.committed
+    assert len(result.cluster.middlewares) == 2
+
+
+def test_geotp_ablation_configs_run_via_runner():
+    base = GeoTPConfig()
+    for variant in (base.ablation_o1(), base.ablation_o1_o2(), base.ablation_o1_o3()):
+        config = ExperimentConfig(system="geotp", terminals=6, duration_ms=3000,
+                                  warmup_ms=500, ycsb=SMALL_YCSB, geotp=variant)
+        result = run_experiment(config)
+        assert result.committed > 0

@@ -1,0 +1,107 @@
+"""Unit tests for topologies and cluster deployment."""
+
+import pytest
+
+from repro.cluster import TopologyConfig, build_cluster, region_rtt_ms
+from repro.cluster.topology import DataNodeSpec, MiddlewareSpec
+from repro.middleware import ModuloPartitioner
+from repro.sim import JitterLatency
+
+
+def test_region_rtt_lookup():
+    assert region_rtt_ms("beijing", "beijing") == 0.0
+    assert region_rtt_ms("beijing", "london") == 251.0
+    assert region_rtt_ms("London", "Beijing") == 251.0
+    with pytest.raises(KeyError):
+        region_rtt_ms("beijing", "mars")
+
+
+def test_paper_default_topology_matches_paper_rtts():
+    topology = TopologyConfig.paper_default()
+    assert topology.node_names() == ["ds0", "ds1", "ds2", "ds3"]
+    dm = topology.middlewares[0]
+    rtts = [topology.middleware_link_model(dm, node).rtt_at(0)
+            for node in topology.data_nodes]
+    assert rtts == [0.0, 27.0, 73.0, 251.0]
+
+
+def test_from_rtts_topology_and_validation():
+    topology = TopologyConfig.from_rtts([10, 50, 90])
+    dm = topology.middlewares[0]
+    assert [topology.middleware_link_model(dm, n).rtt_at(0)
+            for n in topology.data_nodes] == [10, 50, 90]
+    with pytest.raises(ValueError):
+        TopologyConfig.from_rtts([])
+    with pytest.raises(ValueError):
+        TopologyConfig.paper_default(num_nodes=9)
+    with pytest.raises(ValueError):
+        TopologyConfig(data_nodes=[])
+    with pytest.raises(ValueError):
+        TopologyConfig(data_nodes=[DataNodeSpec(name="a"), DataNodeSpec(name="a")])
+
+
+def test_from_latency_models_uses_given_models():
+    model = JitterLatency(40, std_ms=5)
+    topology = TopologyConfig.from_latency_models([model, model])
+    dm = topology.middlewares[0]
+    assert topology.middleware_link_model(dm, topology.data_nodes[0]) is model
+
+
+def test_multi_middleware_topology_places_second_dm_remotely():
+    topology = TopologyConfig.multi_middleware()
+    assert len(topology.middlewares) == 2
+    dm2 = topology.middlewares[1]
+    # dm2 is co-located with the last (London) data node.
+    assert topology.middleware_link_model(dm2, topology.data_nodes[-1]).rtt_at(0) == 0.0
+    assert topology.middleware_link_model(dm2, topology.data_nodes[0]).rtt_at(0) == 251.0
+
+
+def test_rtt_overrides_take_precedence():
+    topology = TopologyConfig(
+        data_nodes=[DataNodeSpec(name="ds0", region="beijing", rtt_to_dm_ms=40.0)],
+        middlewares=[MiddlewareSpec(rtt_overrides={"ds0": 5.0})])
+    dm = topology.middlewares[0]
+    assert topology.middleware_link_model(dm, topology.data_nodes[0]).rtt_at(0) == 5.0
+
+
+def test_build_cluster_for_every_supported_system():
+    from repro.cluster import SUPPORTED_SYSTEMS
+    for system in SUPPORTED_SYSTEMS:
+        topology = TopologyConfig.from_rtts([5, 30])
+        partitioner = ModuloPartitioner(topology.node_names())
+        cluster = build_cluster(system, topology, partitioner)
+        assert cluster.system == system
+        assert set(cluster.datasources) == {"ds0", "ds1"}
+        assert len(cluster.middlewares) == 1
+        if system == "geotp":
+            assert set(cluster.agents) == {"ds0", "ds1"}
+        else:
+            assert cluster.agents == {}
+
+
+def test_build_cluster_accepts_aliases_and_rejects_unknown():
+    topology = TopologyConfig.from_rtts([5])
+    partitioner = ModuloPartitioner(topology.node_names())
+    cluster = build_cluster("ScalarDB+", topology, partitioner)
+    assert cluster.system == "scalardb_plus"
+    cluster = build_cluster("YugabyteDB", topology, partitioner)
+    assert cluster.system == "yugabyte"
+    with pytest.raises(ValueError):
+        build_cluster("oracle-rac", topology, partitioner)
+
+
+def test_build_cluster_heterogeneous_dialects():
+    topology = TopologyConfig.paper_default(dialects=["mysql", "postgresql",
+                                                      "mysql", "postgresql"])
+    partitioner = ModuloPartitioner(topology.node_names())
+    cluster = build_cluster("ssp", topology, partitioner)
+    assert cluster.datasources["ds0"].dialect.name == "mysql"
+    assert cluster.datasources["ds1"].dialect.name == "postgresql"
+
+
+def test_yugabyte_coordinator_is_colocated_with_first_node():
+    topology = TopologyConfig.paper_default()
+    partitioner = ModuloPartitioner(topology.node_names())
+    cluster = build_cluster("yugabyte", topology, partitioner)
+    assert cluster.network.rtt("dm", "ds0") == 0.0
+    assert cluster.network.rtt("dm", "ds3") == region_rtt_ms("beijing", "london")

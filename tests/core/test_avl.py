@@ -1,0 +1,103 @@
+"""Unit and property-based tests for the AVL tree backing the hotspot footprint."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AVLTree
+
+
+def test_insert_and_find():
+    tree = AVLTree()
+    tree.insert(5, "five")
+    tree.insert(3, "three")
+    tree.insert(8, "eight")
+    assert tree.find(5) == "five"
+    assert tree.find(3) == "three"
+    assert tree.find(8) == "eight"
+    assert tree.find(99) is None
+    assert len(tree) == 3
+
+
+def test_insert_replaces_existing_value_without_growing():
+    tree = AVLTree()
+    tree.insert("k", 1)
+    tree.insert("k", 2)
+    assert tree.find("k") == 2
+    assert len(tree) == 1
+
+
+def test_remove_leaf_internal_and_missing():
+    tree = AVLTree()
+    for key in [10, 5, 15, 3, 7, 12, 20]:
+        tree.insert(key, key)
+    assert tree.remove(3)          # leaf
+    assert tree.remove(5)          # internal with one child
+    assert tree.remove(10)         # root with two children
+    assert not tree.remove(999)    # missing
+    assert len(tree) == 4
+    assert tree.check_invariants()
+    assert sorted(tree.keys()) == tree.keys()
+
+
+def test_in_order_iteration_sorted():
+    tree = AVLTree()
+    for key in [9, 1, 7, 3, 5]:
+        tree.insert(key, str(key))
+    assert tree.keys() == [1, 3, 5, 7, 9]
+    assert [v for _k, v in tree.items()] == ["1", "3", "5", "7", "9"]
+
+
+def test_range_query_inclusive_bounds():
+    tree = AVLTree()
+    for key in range(0, 100, 10):
+        tree.insert(key, key)
+    result = tree.range_query(20, 60)
+    assert [k for k, _v in result] == [20, 30, 40, 50, 60]
+    assert tree.range_query(101, 200) == []
+
+
+def test_height_stays_logarithmic_for_sequential_inserts():
+    tree = AVLTree()
+    for key in range(1024):
+        tree.insert(key, key)
+    # A perfectly balanced tree of 1024 nodes has height 11; AVL guarantees
+    # height <= 1.44 * log2(n), i.e. about 15 here.
+    assert tree.height() <= 15
+    assert tree.check_invariants()
+
+
+def test_empty_tree_properties():
+    tree = AVLTree()
+    assert len(tree) == 0
+    assert tree.height() == 0
+    assert tree.keys() == []
+    assert tree.check_invariants()
+    assert not tree.remove("anything")
+
+
+@given(st.lists(st.integers(min_value=-10_000, max_value=10_000)))
+@settings(max_examples=80, deadline=None)
+def test_property_invariants_and_sorted_iteration(keys):
+    tree = AVLTree()
+    for key in keys:
+        tree.insert(key, key * 2)
+    unique_sorted = sorted(set(keys))
+    assert tree.keys() == unique_sorted
+    assert len(tree) == len(unique_sorted)
+    assert tree.check_invariants()
+
+
+@given(st.lists(st.integers(min_value=0, max_value=200), min_size=1),
+       st.lists(st.integers(min_value=0, max_value=200)))
+@settings(max_examples=80, deadline=None)
+def test_property_removal_keeps_invariants(inserts, removals):
+    tree = AVLTree()
+    for key in inserts:
+        tree.insert(key, key)
+    expected = set(inserts)
+    for key in removals:
+        removed = tree.remove(key)
+        assert removed == (key in expected)
+        expected.discard(key)
+    assert tree.keys() == sorted(expected)
+    assert tree.check_invariants()

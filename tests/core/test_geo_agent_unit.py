@@ -1,0 +1,112 @@
+"""Focused unit tests for the geo-agent's forwarding and peer-abort behaviour."""
+
+from repro import protocol
+from repro.common import Operation, OpType
+from repro.core import GeoAgent, GeoAgentConfig
+from repro.sim import ConstantLatency, Environment, Network
+from repro.storage import DataSource, DataSourceConfig, MySQLDialect
+
+
+def build_agent_pair():
+    """One data source with its geo-agent plus a fake coordinator endpoint."""
+    env = Environment()
+    net = Network(env)
+    ds = DataSource(env, net, DataSourceConfig(name="ds0", dialect=MySQLDialect()))
+    ds.load_table("usertable", {k: {"v": 0} for k in range(10)})
+    agent = GeoAgent(env, net, GeoAgentConfig(name="agent-ds0", datasource="ds0"))
+    net.set_link("agent-ds0", "ds0", ConstantLatency(0.5))
+    net.set_link("dm", "agent-ds0", ConstantLatency(20))
+    coordinator = net.interface("dm")
+    return env, net, ds, agent, coordinator
+
+
+def update(key, value=1):
+    return Operation(op_type=OpType.UPDATE, table="usertable", key=key, value={"v": value})
+
+
+def test_agent_forwards_plain_xa_verbs_transparently():
+    env, net, ds, agent, dm = build_agent_pair()
+    replies = {}
+
+    def driver():
+        replies["ping"] = yield dm.request("agent-ds0", protocol.MSG_PING, {})
+        replies["state"] = yield dm.request("agent-ds0", protocol.MSG_TXN_STATE,
+                                            {"xid": "nope"})
+
+    env.process(driver())
+    env.run()
+    assert replies["ping"]["status"] == "ok"
+    assert replies["state"]["state"] == "unknown"
+    assert agent.stats.forwarded == 2
+
+
+def test_agent_execute_with_last_statement_sends_async_prepared_vote():
+    env, net, ds, agent, dm = build_agent_pair()
+    votes = []
+
+    def vote_listener():
+        while True:
+            message = yield dm.receive()
+            if message.msg_type == protocol.MSG_AGENT_PREPARE_RESULT:
+                votes.append(message.payload["state"])
+
+    def driver():
+        result = yield dm.request("agent-ds0", protocol.MSG_AGENT_EXECUTE, {
+            "xid": "g1.1", "global_txn_id": "g1", "operations": [update(1)],
+            "auto_start": True, "is_last": True, "decentralized_prepare": True,
+            "peers": ["agent-ds1"], "coordinator": "dm"})
+        assert result.success
+
+    env.process(vote_listener())
+    env.process(driver())
+    env.run(until=500)
+    assert votes == [protocol.STATE_PREPARED]
+    assert agent.stats.decentralized_prepares == 1
+
+
+def test_agent_centralized_transaction_reports_idle_instead_of_preparing():
+    env, net, ds, agent, dm = build_agent_pair()
+    votes = []
+
+    def vote_listener():
+        while True:
+            message = yield dm.receive()
+            votes.append(message.payload["state"])
+
+    def driver():
+        yield dm.request("agent-ds0", protocol.MSG_AGENT_EXECUTE, {
+            "xid": "g2.1", "global_txn_id": "g2", "operations": [update(2)],
+            "auto_start": True, "is_last": True, "decentralized_prepare": True,
+            "peers": [], "coordinator": "dm"})
+
+    env.process(vote_listener())
+    env.process(driver())
+    env.run(until=500)
+    assert votes == [protocol.STATE_IDLE]
+    assert agent.stats.decentralized_prepares == 0
+
+
+def test_peer_rollback_before_execute_poisons_the_transaction():
+    env, net, ds, agent, dm = build_agent_pair()
+    net.set_link("peer", "agent-ds0", ConstantLatency(2))
+    peer = net.interface("peer")
+    outcomes = {}
+
+    def driver():
+        # The peer's early-abort notification arrives before the execute.
+        peer.send("agent-ds0", protocol.MSG_PEER_ROLLBACK,
+                  {"global_txn_id": "g3", "coordinator": "dm"})
+        yield env.timeout(10)
+        result = yield dm.request("agent-ds0", protocol.MSG_AGENT_EXECUTE, {
+            "xid": "g3.1", "global_txn_id": "g3", "operations": [update(3)],
+            "auto_start": True, "is_last": True, "decentralized_prepare": True,
+            "peers": ["peer"], "coordinator": "dm"})
+        outcomes["result"] = result
+
+    env.process(driver())
+    env.run(until=500)
+    result = outcomes["result"]
+    assert not result.success
+    # The poisoned transaction never executed, so the record is untouched.
+    assert ds.engine.read("p", "usertable", 3).value == {"v": 0}
+    assert agent.stats.peer_rollbacks_handled == 1

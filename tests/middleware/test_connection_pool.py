@@ -1,0 +1,54 @@
+"""Unit tests for middleware connection pools."""
+
+import pytest
+
+from repro.middleware.connection_pool import ConnectionPool, ConnectionPoolSet
+from repro.sim import Environment
+
+
+def test_pool_rejects_non_positive_capacity():
+    with pytest.raises(ValueError):
+        ConnectionPool(Environment(), "ds0", capacity=0)
+
+
+def test_pool_bounds_concurrent_connections():
+    env = Environment()
+    pool = ConnectionPool(env, "ds0", capacity=2)
+    order = []
+
+    def user(name, hold_ms):
+        request = pool.acquire()
+        yield request
+        order.append((env.now, name))
+        yield env.timeout(hold_ms)
+        pool.release(request)
+
+    env.process(user("a", 10))
+    env.process(user("b", 10))
+    env.process(user("c", 10))
+    env.run()
+    assert order == [(0, "a"), (0, "b"), (10, "c")]
+    assert pool.total_acquisitions == 3
+    assert pool.in_use == 0
+
+
+def test_pool_waiting_counter():
+    env = Environment()
+    pool = ConnectionPool(env, "ds0", capacity=1)
+    first = pool.acquire()
+    pool.acquire()
+    assert pool.in_use == 1
+    assert pool.waiting == 1
+    pool.release(first)
+    assert pool.waiting == 0
+
+
+def test_pool_set_creates_one_pool_per_datasource():
+    env = Environment()
+    pools = ConnectionPoolSet(env, capacity=4)
+    a = pools.pool("ds0")
+    b = pools.pool("ds1")
+    assert pools.pool("ds0") is a
+    assert a is not b
+    assert set(pools.pools()) == {"ds0", "ds1"}
+    assert a.capacity == 4

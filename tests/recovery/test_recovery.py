@@ -1,0 +1,221 @@
+"""Recovery and atomicity tests (§V of the paper).
+
+These tests drive transactions part-way, crash the middleware or a data
+source, run the recovery manager and then assert the atomic-commitment
+properties: every branch of a transaction ends in the same state, decisions
+are never reversed, and transactions without a logged decision are aborted.
+"""
+
+import pytest
+
+from repro import protocol
+from repro.common import Operation, OpType, TxnOutcome
+from repro.middleware import (
+    MiddlewareConfig,
+    ModuloPartitioner,
+    ParticipantHandle,
+    TransactionSpec,
+    TwoPhaseCommitCoordinator,
+)
+from repro.recovery import FailureInjector, RecoveryManager
+from repro.sim import ConstantLatency, Environment, Network
+from repro.storage import DataSource, DataSourceConfig, MySQLDialect, TxnState
+from repro.storage.wal import LogRecordType
+
+
+def build_cluster(rtts=(10.0, 100.0)):
+    env = Environment()
+    net = Network(env)
+    names = [f"ds{i}" for i in range(len(rtts))]
+    datasources, participants = {}, {}
+    for name, rtt in zip(names, rtts):
+        ds = DataSource(env, net, DataSourceConfig(name=name, dialect=MySQLDialect()))
+        ds.load_table("usertable", {key: {"v": 0} for key in range(50)})
+        datasources[name] = ds
+        participants[name] = ParticipantHandle(name=name, endpoint=name)
+        net.set_link("dm", name, ConstantLatency(rtt))
+    dm = TwoPhaseCommitCoordinator(env, net, MiddlewareConfig(name="dm"),
+                                   participants, ModuloPartitioner(names))
+    injector = FailureInjector(env, net)
+    return env, net, dm, datasources, injector
+
+
+def update(key, value=1):
+    return Operation(op_type=OpType.UPDATE, table="usertable", key=key, value={"v": value})
+
+
+def prepare_branch_by_hand(env, net, ds_name, xid, key):
+    """Drive a branch to PREPARED directly (simulating a DM that died mid-commit)."""
+    client = net.interface("manual-client")
+    done = {}
+
+    def driver():
+        yield client.request(ds_name, protocol.MSG_XA_START, {"xid": xid})
+        yield client.request(ds_name, protocol.MSG_EXECUTE,
+                             {"xid": xid, "operations": [update(key, 99)]})
+        yield client.request(ds_name, protocol.MSG_XA_PREPARE, {"xid": xid})
+        done["ok"] = True
+
+    env.process(driver())
+    env.run(until=env.peek() + 10_000)
+    assert done.get("ok")
+
+
+def test_middleware_recovery_commits_logged_transactions():
+    env, net, dm, datasources, injector = build_cluster()
+    net.set_link("manual-client", "ds0", ConstantLatency(1))
+    net.set_link("manual-client", "ds1", ConstantLatency(1))
+
+    # Both branches prepared, and the middleware logged a COMMIT decision
+    # before crashing: recovery must commit both branches.
+    prepare_branch_by_hand(env, net, "ds0", "dm-t77.1", 0)
+    prepare_branch_by_hand(env, net, "ds1", "dm-t77.2", 1)
+    dm.wal.append(LogRecordType.COMMIT, "dm-t77", env.now)
+
+    injector.crash_middleware(dm)
+    injector.restart_middleware(dm)
+
+    manager = RecoveryManager(dm)
+    report_holder = {}
+
+    def recover():
+        report = yield from manager.recover_after_middleware_crash()
+        report_holder["report"] = report
+
+    env.process(recover())
+    env.run()
+
+    report = report_holder["report"]
+    assert len(report.committed) == 2
+    assert datasources["ds0"].transactions["dm-t77.1"].state is TxnState.COMMITTED
+    assert datasources["ds1"].transactions["dm-t77.2"].state is TxnState.COMMITTED
+    assert datasources["ds0"].engine.read("p", "usertable", 0).value == {"v": 99}
+
+
+def test_middleware_recovery_aborts_undecided_transactions():
+    env, net, dm, datasources, injector = build_cluster()
+    net.set_link("manual-client", "ds0", ConstantLatency(1))
+    net.set_link("manual-client", "ds1", ConstantLatency(1))
+
+    # Branches prepared but no decision logged: the transaction never entered
+    # the commit phase, so recovery must abort it (AC3/AC4).
+    prepare_branch_by_hand(env, net, "ds0", "dm-t88.1", 2)
+    prepare_branch_by_hand(env, net, "ds1", "dm-t88.2", 3)
+
+    injector.crash_middleware(dm)
+    injector.restart_middleware(dm)
+
+    manager = RecoveryManager(dm)
+    holder = {}
+
+    def recover():
+        holder["report"] = yield from manager.recover_after_middleware_crash()
+
+    env.process(recover())
+    env.run()
+
+    assert len(holder["report"].rolled_back) == 2
+    assert datasources["ds0"].transactions["dm-t88.1"].state is TxnState.ABORTED
+    assert datasources["ds1"].transactions["dm-t88.2"].state is TxnState.ABORTED
+    # The prepared-but-aborted write never became visible.
+    assert datasources["ds0"].engine.read("p", "usertable", 2).value == {"v": 0}
+
+
+def test_all_branches_reach_the_same_outcome_after_recovery():
+    """AC1: no transaction ends with one branch committed and another aborted."""
+    env, net, dm, datasources, injector = build_cluster()
+    net.set_link("manual-client", "ds0", ConstantLatency(1))
+    net.set_link("manual-client", "ds1", ConstantLatency(1))
+
+    prepare_branch_by_hand(env, net, "ds0", "dm-t90.1", 4)
+    prepare_branch_by_hand(env, net, "ds1", "dm-t90.2", 5)
+    dm.wal.append(LogRecordType.ABORT, "dm-t90", env.now)
+
+    manager = RecoveryManager(dm)
+
+    def recover():
+        yield from manager.recover_after_middleware_crash()
+
+    env.process(recover())
+    env.run()
+
+    states = {datasources["ds0"].transactions["dm-t90.1"].state,
+              datasources["ds1"].transactions["dm-t90.2"].state}
+    assert len(states) == 1
+    assert states.pop() is TxnState.ABORTED
+
+
+def test_datasource_crash_loses_unprepared_work_and_siblings_roll_back():
+    env, net, dm, datasources, injector = build_cluster()
+    net.set_link("manual-client", "ds0", ConstantLatency(1))
+    net.set_link("manual-client", "ds1", ConstantLatency(1))
+    client = net.interface("manual-client")
+
+    progress = {}
+
+    def driver():
+        # Branch on ds1 prepared; branch on ds0 only executed (not prepared).
+        yield client.request("ds1", protocol.MSG_XA_START, {"xid": "dm-t91.2"})
+        yield client.request("ds1", protocol.MSG_EXECUTE,
+                             {"xid": "dm-t91.2", "operations": [update(7, 50)]})
+        yield client.request("ds1", protocol.MSG_XA_PREPARE, {"xid": "dm-t91.2"})
+        yield client.request("ds0", protocol.MSG_XA_START, {"xid": "dm-t91.1"})
+        yield client.request("ds0", protocol.MSG_EXECUTE,
+                             {"xid": "dm-t91.1", "operations": [update(6, 50)]})
+        progress["staged"] = True
+        # Crash and restart ds0: its unprepared branch disappears.
+        yield from injector.crash_datasource(datasources["ds0"])
+        yield from injector.restart_datasource(datasources["ds0"])
+        manager = RecoveryManager(dm)
+        report = yield from manager.recover_after_datasource_crash(
+            "ds0", {"ds0": ["dm-t91.1"], "ds1": ["dm-t91.2"]})
+        progress["report"] = report
+
+    env.process(driver())
+    env.run()
+
+    assert progress.get("staged")
+    report = progress["report"]
+    # ds0's branch had not prepared: it is rolled back together with its sibling.
+    assert any("ds0" in entry for entry in report.rolled_back)
+    assert any("ds1" in entry for entry in report.rolled_back)
+    assert datasources["ds1"].transactions["dm-t91.2"].state is TxnState.ABORTED
+    assert datasources["ds1"].engine.read("p", "usertable", 7).value == {"v": 0}
+
+
+def test_recovery_is_idempotent():
+    """Running recovery twice must not change outcomes (AC2: decisions stick)."""
+    env, net, dm, datasources, injector = build_cluster()
+    net.set_link("manual-client", "ds0", ConstantLatency(1))
+    prepare_branch_by_hand(env, net, "ds0", "dm-t92.1", 8)
+    dm.wal.append(LogRecordType.COMMIT, "dm-t92", env.now)
+
+    manager = RecoveryManager(dm)
+    reports = []
+
+    def recover_twice():
+        first = yield from manager.recover_after_middleware_crash()
+        second = yield from manager.recover_after_middleware_crash()
+        reports.extend([first, second])
+
+    env.process(recover_twice())
+    env.run()
+
+    assert datasources["ds0"].transactions["dm-t92.1"].state is TxnState.COMMITTED
+    assert datasources["ds0"].engine.read("p", "usertable", 8).value == {"v": 99}
+    # The second pass finds nothing prepared and changes nothing.
+    assert reports[1].total_handled == 0
+
+
+def test_client_facing_outcome_matches_data_source_state():
+    """End-to-end: a committed transaction's writes survive; an aborted one's do not."""
+    env, net, dm, datasources, injector = build_cluster()
+    spec = TransactionSpec.from_operations([update(0, 5), update(1, 5)])
+    proc = dm.submit(spec)
+    env.run(until=proc)
+    result = proc.value
+    assert result.outcome is TxnOutcome.COMMITTED
+    for name, key in (("ds0", 0), ("ds1", 1)):
+        branch = [t for t in datasources[name].transactions.values()
+                  if t.global_txn_id == result.txn_id]
+        assert branch and branch[0].state is TxnState.COMMITTED

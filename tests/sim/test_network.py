@@ -1,0 +1,153 @@
+"""Unit tests for the point-to-point network model."""
+
+import pytest
+
+from repro.sim import ConstantLatency, Environment, Network
+
+
+def make_net(rtt_ab=100.0):
+    env = Environment()
+    net = Network(env)
+    net.set_link("a", "b", ConstantLatency(rtt_ab))
+    a = net.interface("a")
+    b = net.interface("b")
+    return env, net, a, b
+
+
+def test_send_delivers_after_one_way_delay():
+    env, net, a, b = make_net(rtt_ab=100)
+    received = []
+
+    def receiver():
+        msg = yield b.receive()
+        received.append((env.now, msg.msg_type, msg.payload))
+
+    def sender():
+        yield env.timeout(0)
+        a.send("b", "hello", payload=123)
+
+    env.process(receiver())
+    env.process(sender())
+    env.run()
+    assert received == [(50.0, "hello", 123)]
+
+
+def test_send_to_self_has_zero_delay():
+    env, net, a, b = make_net()
+    received = []
+
+    def proc():
+        a.send("a", "loopback")
+        msg = yield a.receive()
+        received.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert received == [0.0]
+
+
+def test_send_to_unknown_node_raises():
+    env, net, a, b = make_net()
+    with pytest.raises(KeyError):
+        a.send("nowhere", "x")
+
+
+def test_request_reply_takes_full_round_trip():
+    env, net, a, b = make_net(rtt_ab=100)
+    results = []
+
+    def server():
+        while True:
+            msg = yield b.receive()
+            b.reply(msg, msg.payload * 2)
+
+    def client():
+        value = yield a.request("b", "double", payload=21)
+        results.append((env.now, value))
+
+    env.process(server())
+    env.process(client())
+    env.run(until=1000)
+    assert results == [(100.0, 42)]
+
+
+def test_request_reply_includes_server_processing_time():
+    env, net, a, b = make_net(rtt_ab=100)
+    results = []
+
+    def server():
+        msg = yield b.receive()
+        yield env.timeout(7)
+        b.reply(msg, "ok")
+
+    def client():
+        value = yield a.request("b", "work")
+        results.append(env.now)
+
+    env.process(server())
+    env.process(client())
+    env.run()
+    assert results == [pytest.approx(107.0)]
+
+
+def test_rtt_between_nodes_reported():
+    env, net, a, b = make_net(rtt_ab=73)
+    assert net.rtt("a", "b") == 73
+    assert net.rtt("b", "a") == 73
+    assert net.rtt("a", "a") == 0
+    assert a.rtt_to("b") == 73
+
+
+def test_asymmetric_link_when_requested():
+    env = Environment()
+    net = Network(env)
+    net.set_link("x", "y", ConstantLatency(10), symmetric=False)
+    net.set_link("y", "x", ConstantLatency(30), symmetric=False)
+    assert net.rtt("x", "y") == 10
+    assert net.rtt("y", "x") == 30
+
+
+def test_default_link_model_applies_to_unknown_pairs():
+    env = Environment()
+    net = Network(env, default_rtt_ms=8)
+    net.interface("p")
+    net.interface("q")
+    assert net.rtt("p", "q") == 8
+
+
+def test_network_stats_count_messages_by_type():
+    env, net, a, b = make_net()
+
+    def receiver():
+        while True:
+            yield b.receive()
+
+    def sender():
+        a.send("b", "ping")
+        a.send("b", "ping")
+        a.send("b", "data")
+        yield env.timeout(0)
+
+    env.process(receiver())
+    env.process(sender())
+    env.run(until=500)
+    assert net.stats.messages_sent == 3
+    assert net.stats.messages_by_type["ping"] == 2
+    assert net.stats.messages_by_type["data"] == 1
+
+
+def test_reply_without_request_rejected():
+    env, net, a, b = make_net()
+
+    def receiver():
+        msg = yield b.receive()
+        with pytest.raises(ValueError):
+            b.reply(msg, "oops")
+
+    def sender():
+        a.send("b", "one_way")
+        yield env.timeout(0)
+
+    env.process(receiver())
+    env.process(sender())
+    env.run()

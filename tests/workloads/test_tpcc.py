@@ -1,0 +1,111 @@
+"""Unit tests for the TPC-C workload generator."""
+
+import pytest
+
+from repro.workloads import TPCCConfig, TPCCWorkload
+
+NODES = ["ds0", "ds1", "ds2", "ds3"]
+
+
+def make_workload(**overrides):
+    defaults = dict(warehouses_per_node=2, customers_per_district=10, item_count=50)
+    defaults.update(overrides)
+    return TPCCWorkload(NODES, TPCCConfig(**defaults))
+
+
+def test_rejects_bad_configuration():
+    with pytest.raises(ValueError):
+        TPCCWorkload(NODES, TPCCConfig(warehouses_per_node=0))
+    with pytest.raises(ValueError):
+        TPCCWorkload(NODES, TPCCConfig(mix={"payment": 0.5}))
+    with pytest.raises(ValueError):
+        TPCCWorkload(NODES, TPCCConfig(mix={"bogus": 1.0}))
+
+
+def test_total_warehouses_and_partitioning():
+    workload = make_workload()
+    assert workload.total_warehouses == 8
+    partitioner = workload.make_partitioner()
+    assert partitioner.node_for_warehouse(1) == "ds0"
+    assert partitioner.node_for_warehouse(8) == "ds3"
+
+
+def test_initial_data_contains_all_nine_relations():
+    workload = make_workload()
+    data = workload.initial_data()
+    expected_tables = {"warehouse", "district", "customer", "stock", "item",
+                       "order", "neworder", "orderline", "history"}
+    for node in NODES:
+        assert expected_tables == set(data[node])
+        # Two warehouses per node, ten districts each.
+        assert len(data[node]["warehouse"]) == 2
+        assert len(data[node]["district"]) == 20
+        # The item catalogue is replicated on every node.
+        assert len(data[node]["item"]) == 50
+
+
+def test_initial_data_partition_consistency():
+    workload = make_workload()
+    partitioner = workload.make_partitioner()
+    data = workload.initial_data()
+    for node, tables in data.items():
+        for key in tables["stock"]:
+            assert partitioner.locate("stock", key) == node
+
+
+def test_transaction_mix_is_respected():
+    workload = make_workload(mix={"payment": 1.0})
+    for _ in range(20):
+        assert workload.next_transaction().txn_type == "payment"
+
+
+def test_default_mix_generates_all_types():
+    workload = make_workload(seed=3)
+    seen = {workload.next_transaction().txn_type for _ in range(300)}
+    assert {"new_order", "payment", "order_status", "delivery", "stock_level"} <= seen
+
+
+def test_payment_distributed_ratio_controls_cross_node_access():
+    local = make_workload(mix={"payment": 1.0}, distributed_ratio=0.0)
+    remote = make_workload(mix={"payment": 1.0}, distributed_ratio=1.0)
+    assert not any(local.next_transaction().metadata["distributed"] for _ in range(50))
+    distributed = sum(1 for _ in range(50)
+                      if remote.next_transaction().metadata["distributed"])
+    assert distributed >= 45
+
+
+def test_new_order_touches_item_stock_and_orderline():
+    workload = make_workload(mix={"new_order": 1.0}, distributed_ratio=0.0)
+    spec = workload.next_transaction()
+    tables = spec.tables()
+    assert {"warehouse", "district", "customer", "order", "neworder",
+            "item", "stock", "orderline"} <= tables
+    assert spec.statement_count >= 5 + 3 * 5  # header + at least 5 order lines
+
+
+def test_new_order_distributed_uses_remote_node_stock():
+    workload = make_workload(mix={"new_order": 1.0}, distributed_ratio=1.0)
+    partitioner = workload.make_partitioner()
+    spec = workload.next_transaction()
+    home = spec.metadata["warehouse"]
+    home_node = partitioner.node_for_warehouse(home)
+    stock_nodes = {partitioner.locate("stock", stmt.operation.key)
+                   for stmt in spec.all_statements if stmt.operation.table == "stock"}
+    assert spec.metadata["distributed"]
+    assert any(node != home_node for node in stock_nodes)
+
+
+def test_read_only_transactions_are_centralized_and_read_only():
+    workload = make_workload(mix={"order_status": 0.5, "stock_level": 0.5})
+    for _ in range(20):
+        spec = workload.next_transaction()
+        assert not spec.metadata["distributed"]
+        assert all(not stmt.operation.is_write for stmt in spec.all_statements)
+
+
+def test_delivery_covers_requested_districts():
+    workload = make_workload(mix={"delivery": 1.0}, delivery_districts=4)
+    spec = workload.next_transaction()
+    districts = {stmt.operation.key[1] for stmt in spec.all_statements
+                 if stmt.operation.table == "neworder"}
+    assert len(districts) == 4
