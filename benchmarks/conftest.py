@@ -4,11 +4,18 @@ Each benchmark regenerates one of the paper's tables or figures at a reduced
 scale (shorter measurement window, fewer terminals, fewer sweep points) so the
 whole suite finishes in a few minutes on a laptop.  EXPERIMENTS.md records a
 full-scale run produced with the same experiment functions.
+
+The scale itself lives next to the scenario registry
+(:data:`repro.bench.scenarios.BENCH_SCALE`) so benches, experiments and the
+CLI share one source of truth; this module only re-exports it under the names
+the per-figure bench files import.  A high-contention point needs a window
+several times longer than the 5 s lock-wait timeout to accumulate a meaningful
+number of commits, which is why the bench window is twice the quick default.
 """
 
-#: Simulated milliseconds per experiment point.  High-contention points need a
-#: window several times longer than the 5 s lock-wait timeout to accumulate a
-#: meaningful number of commits.
-BENCH_DURATION_MS = 20_000.0
+from repro.bench.scenarios import BENCH_SCALE
+
+#: Simulated milliseconds per experiment point.
+BENCH_DURATION_MS = BENCH_SCALE.duration_ms
 #: Client terminals per experiment point.
-BENCH_TERMINALS = 32
+BENCH_TERMINALS = BENCH_SCALE.terminals

@@ -15,7 +15,12 @@ in Database Middlewares* (ICDE 2025).  The public API is small:
 See README.md for a quickstart and DESIGN.md for the system inventory.
 """
 
-from repro.bench.runner import ExperimentConfig, ExperimentResult, run_experiment
+from repro.bench.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    ExperimentSummary,
+    run_experiment,
+)
 from repro.baselines.scalardb import ScalarDBConfig
 from repro.cluster.deployment import Cluster, SUPPORTED_SYSTEMS, build_cluster
 from repro.cluster.topology import DataNodeSpec, MiddlewareSpec, TopologyConfig
@@ -40,6 +45,7 @@ __all__ = [
     "DataNodeSpec",
     "ExperimentConfig",
     "ExperimentResult",
+    "ExperimentSummary",
     "GeoTPConfig",
     "MiddlewareSpec",
     "Operation",

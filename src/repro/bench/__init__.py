@@ -1,13 +1,59 @@
-"""Benchmark harness: experiment runner, per-figure experiments, reporting."""
+"""Benchmark harness: scenario registry, sweep runner, experiments, reporting.
 
-from repro.bench.runner import ExperimentConfig, ExperimentResult, run_experiment
+The layer is organised as a pipeline:
+
+* ``scenarios`` — declarative :class:`ScenarioSpec` registry; every paper
+  figure/table is a base config plus named parameter axes;
+* ``parallel`` — :class:`SweepRunner` expands a sweep and executes its points
+  serially or across a process pool;
+* ``experiments`` — one thin function per figure that reshapes sweep results
+  into the dicts the paper plots;
+* ``runner`` / ``report`` — the single-point experiment runner and the
+  plain-text tables.
+
+``python -m repro.bench`` lists and runs registered scenarios from the shell.
+"""
+
+from repro.bench.parallel import (
+    PointResult,
+    SweepResult,
+    SweepRunner,
+    run_scenario_sweep,
+)
 from repro.bench.report import format_table, print_series, print_table
+from repro.bench.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    ExperimentSummary,
+    run_experiment,
+)
+from repro.bench.scenarios import (
+    SCENARIOS,
+    Axis,
+    ScenarioSpec,
+    SweepPoint,
+    SweepSpec,
+    get_scenario,
+    scenario_names,
+)
 
 __all__ = [
+    "Axis",
     "ExperimentConfig",
     "ExperimentResult",
+    "ExperimentSummary",
+    "PointResult",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
     "format_table",
+    "get_scenario",
     "print_series",
     "print_table",
     "run_experiment",
+    "run_scenario_sweep",
+    "scenario_names",
 ]

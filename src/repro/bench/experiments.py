@@ -1,79 +1,81 @@
-"""One function per paper table/figure.
+"""One function per paper table/figure, routed through the scenario registry.
 
-Every function returns a plain dict of the rows/series the paper plots and, via
-``report=True``, prints them as text tables.  Benchmarks call these functions
-with reduced scale (shorter runs, fewer terminals) so the whole suite finishes
-in minutes; EXPERIMENTS.md records a full-scale run.
+Every function looks up its registered scenario (``repro.bench.scenarios``),
+derives a sweep at the requested scale, executes it through
+:class:`~repro.bench.parallel.SweepRunner` and reshapes the point results into
+the plain dict of rows/series the paper plots; ``report=True`` additionally
+prints them as text tables.  All functions accept ``workers`` to fan the sweep
+points out over a process pool (default: serial, or the
+``REPRO_BENCH_WORKERS`` environment variable) — results are independent of the
+worker count because every point is independently seeded.
 
-The experiment ids match DESIGN.md: fig1b, fig5, fig6, fig7, fig8, fig9, fig10,
-fig11a, fig11b, fig12, fig13, fig14, fig15 and table1.
+Benchmarks call these functions with reduced scale (shorter runs, fewer
+terminals) so the whole suite finishes in minutes; EXPERIMENTS.md records a
+full-scale run.
+
+The experiment ids match DESIGN.md: fig1b, fig5, fig6, fig7, fig8, fig9,
+fig10, fig11a, fig11b, fig12, fig13, fig14, fig15 and table1.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.bench.parallel import SweepRunner
 from repro.bench.report import print_table
-from repro.bench.runner import ExperimentConfig, ExperimentResult, run_experiment
-from repro.cluster.topology import TopologyConfig
-from repro.core.config import GeoTPConfig
-from repro.sim.latency import DynamicLatency, JitterLatency, RandomLatency
-from repro.sim.rng import SeededRNG
-from repro.workloads.tpcc import TPCCConfig
-from repro.workloads.ycsb import CONTENTION_SKEW, YCSBConfig
+from repro.bench.scenarios import (
+    ABLATION_BUILDERS,
+    DIST_RATIO_SYSTEMS,
+    HETEROGENEOUS_SCENARIOS,
+    OVERALL_SYSTEMS,
+    QUICK_SCALE,
+    get_scenario,
+)
+from repro.workloads.ycsb import CONTENTION_SKEW  # noqa: F401  (re-export)
 
-#: Default scale used by the pytest benchmarks; EXPERIMENTS.md uses larger values.
-QUICK_DURATION_MS = 10_000.0
-QUICK_WARMUP_MS = 2_000.0
-QUICK_TERMINALS = 48
+#: Default scale used by the experiment functions; EXPERIMENTS.md uses larger
+#: values and ``benchmarks/conftest.py`` derives the bench scale from the same
+#: registry module.
+QUICK_DURATION_MS = QUICK_SCALE.duration_ms
+QUICK_WARMUP_MS = QUICK_SCALE.warmup_ms
+QUICK_TERMINALS = QUICK_SCALE.terminals
+
+#: The Figure 12 variant names (kept for backwards compatibility).
+ABLATION_VARIANTS = tuple(ABLATION_BUILDERS)
 
 
-def _ycsb(skew: float = CONTENTION_SKEW["medium"], distributed_ratio: float = 0.2,
-          **kwargs) -> YCSBConfig:
-    return YCSBConfig(skew=skew, distributed_ratio=distributed_ratio, **kwargs)
-
-
-def _run(system: str, *, workload: str = "ycsb", ycsb: Optional[YCSBConfig] = None,
-         tpcc: Optional[TPCCConfig] = None, topology: Optional[TopologyConfig] = None,
-         terminals: int = QUICK_TERMINALS, duration_ms: float = QUICK_DURATION_MS,
-         warmup_ms: float = QUICK_WARMUP_MS, geotp: Optional[GeoTPConfig] = None,
-         timeline_bucket_ms: Optional[float] = None, active_probing: bool = False,
-         seed: int = 0) -> ExperimentResult:
-    config = ExperimentConfig(
-        system=system, workload=workload, topology=topology, terminals=terminals,
-        duration_ms=duration_ms, warmup_ms=warmup_ms,
-        ycsb=ycsb or _ycsb(), tpcc=tpcc or TPCCConfig(), geotp=geotp,
-        timeline_bucket_ms=timeline_bucket_ms, active_probing=active_probing,
-        seed=seed)
-    return run_experiment(config)
+def _sweep_results(scenario_name: str, axes: Optional[Dict] = None,
+                   fixed: Optional[Dict] = None, workers: Optional[int] = None,
+                   **overrides):
+    """Expand and execute one registered scenario at the requested scale."""
+    sweep = get_scenario(scenario_name).sweep(axes=axes, fixed=fixed, **overrides)
+    return SweepRunner(max_workers=workers).run(sweep)
 
 
 # --------------------------------------------------------------------- Fig. 1b
 def fig1_motivation(ds2_latencies_ms: Sequence[float] = (20, 40, 60, 80, 100),
                     duration_ms: float = QUICK_DURATION_MS,
-                    terminals: int = 8, report: bool = False) -> Dict:
+                    terminals: int = 8, report: bool = False,
+                    workers: Optional[int] = None) -> Dict:
     """Average latency of *centralized* transactions vs. the DM-DS2 latency.
 
     Reproduces the motivating experiment: two data sources (DS1 at 10 ms),
     80 % centralized transactions on DS1, 20 % distributed, under low and
     medium contention.
     """
+    outcome = _sweep_results(
+        "fig1b", axes={"ds2_latency_ms": ds2_latencies_ms},
+        duration_ms=duration_ms, terminals=terminals, workers=workers)
+    labels = {"low": "LC", "medium": "MC"}
     rows = []
     series: Dict[str, List] = {"LC": [], "MC": []}
-    for label, skew in (("LC", CONTENTION_SKEW["low"]), ("MC", CONTENTION_SKEW["medium"])):
-        for ds2_latency in ds2_latencies_ms:
-            topology = TopologyConfig.from_rtts([10.0, float(ds2_latency)])
-            # All transactions are homed on DS1: 80% touch only DS1, 20% also
-            # touch DS2, exactly as in the paper's motivating experiment.
-            ycsb = _ycsb(skew=skew, distributed_ratio=0.2, home_node=0,
-                         records_per_node=5_000)
-            result = _run("ssp", ycsb=ycsb,
-                          topology=topology, terminals=terminals,
-                          duration_ms=duration_ms)
-            centralized = result.latency_for(distributed=False)
-            latency = centralized.mean if len(centralized) else 0.0
-            series[label].append((ds2_latency, latency))
-            rows.append((label, ds2_latency, round(latency, 1)))
+    for point in outcome:
+        label = labels[point.params["contention"]]
+        ds2_latency = point.params["ds2_latency_ms"]
+        centralized = point.summary.latency_for(distributed=False)
+        latency = centralized.mean if len(centralized) else 0.0
+        series[label].append((ds2_latency, latency))
+        rows.append((label, ds2_latency, round(latency, 1)))
     if report:
         print_table("Fig 1b — centralized txn latency vs DM-DS2 latency (SSP)",
                     ["contention", "ds2 RTT (ms)", "avg centralized latency (ms)"], rows)
@@ -81,21 +83,20 @@ def fig1_motivation(ds2_latencies_ms: Sequence[float] = (20, 40, 60, 80, 100),
 
 
 # --------------------------------------------------------------------- Fig. 5
-OVERALL_SYSTEMS = ("ssp", "ssp_local", "scalardb", "scalardb_plus", "geotp")
-
-
 def fig5_overall(workload: str = "ycsb",
                  terminal_counts: Sequence[int] = (16, 48, 96),
                  systems: Sequence[str] = OVERALL_SYSTEMS,
                  duration_ms: float = QUICK_DURATION_MS,
-                 report: bool = False) -> Dict:
+                 report: bool = False,
+                 workers: Optional[int] = None) -> Dict:
     """Throughput vs. number of client terminals for the five systems (Fig. 5a/5b)."""
+    outcome = _sweep_results(
+        "fig5_overall", axes={"system": systems, "terminals": terminal_counts},
+        workload=workload, duration_ms=duration_ms, workers=workers)
     series: Dict[str, List] = {system: [] for system in systems}
-    for system in systems:
-        for terminals in terminal_counts:
-            result = _run(system, workload=workload, terminals=terminals,
-                          duration_ms=duration_ms)
-            series[system].append((terminals, round(result.throughput_tps, 1)))
+    for point in outcome:
+        series[point.params["system"]].append(
+            (point.params["terminals"], round(point.summary.throughput_tps, 1)))
     if report:
         rows = [(system, *[tps for _t, tps in points])
                 for system, points in series.items()]
@@ -107,18 +108,21 @@ def fig5_overall(workload: str = "ycsb",
 # --------------------------------------------------------------------- Fig. 6
 def fig6_resources_breakdown(duration_ms: float = QUICK_DURATION_MS,
                              terminals: int = QUICK_TERMINALS,
-                             report: bool = False) -> Dict:
+                             report: bool = False,
+                             workers: Optional[int] = None) -> Dict:
     """Resource proxies and per-phase latency breakdown, SSP vs GeoTP (Fig. 6)."""
+    outcome = _sweep_results("fig6_breakdown", duration_ms=duration_ms,
+                             terminals=terminals, workers=workers)
     out = {}
-    for system in ("ssp", "geotp"):
-        result = _run(system, duration_ms=duration_ms, terminals=terminals)
-        out[system] = {
-            "throughput_tps": result.throughput_tps,
-            "avg_latency_ms": result.average_latency_ms,
-            "work_per_commit": result.resources.work_per_commit,
-            "wan_messages_per_commit": result.resources.wan_messages_per_commit,
-            "metadata_bytes": result.resources.metadata_bytes,
-            "breakdown": result.breakdown,
+    for point in outcome:
+        summary = point.summary
+        out[point.params["system"]] = {
+            "throughput_tps": summary.throughput_tps,
+            "avg_latency_ms": summary.average_latency_ms,
+            "work_per_commit": summary.resources.work_per_commit,
+            "wan_messages_per_commit": summary.resources.wan_messages_per_commit,
+            "metadata_bytes": summary.resources.metadata_bytes,
+            "breakdown": summary.breakdown,
         }
     if report:
         rows = [(system,
@@ -138,26 +142,23 @@ def fig6_resources_breakdown(duration_ms: float = QUICK_DURATION_MS,
 
 
 # --------------------------------------------------------------------- Fig. 7
-DIST_RATIO_SYSTEMS = ("ssp", "quro", "chiller", "geotp")
-
-
 def fig7_distributed_ratio_ycsb(ratios: Sequence[float] = (0.2, 0.6, 1.0),
                                 contentions: Sequence[str] = ("low", "medium", "high"),
                                 systems: Sequence[str] = DIST_RATIO_SYSTEMS,
                                 duration_ms: float = QUICK_DURATION_MS,
                                 terminals: int = QUICK_TERMINALS,
-                                report: bool = False) -> Dict:
+                                report: bool = False,
+                                workers: Optional[int] = None) -> Dict:
     """Throughput and average latency vs. distributed-transaction ratio (Fig. 7)."""
+    outcome = _sweep_results(
+        "fig7_dist_ratio_ycsb",
+        axes={"contention": contentions, "system": systems, "ratio": ratios},
+        duration_ms=duration_ms, terminals=terminals, workers=workers)
     out: Dict[str, Dict[str, List]] = {c: {s: [] for s in systems} for c in contentions}
-    for contention in contentions:
-        skew = CONTENTION_SKEW[contention]
-        for system in systems:
-            for ratio in ratios:
-                result = _run(system, ycsb=_ycsb(skew=skew, distributed_ratio=ratio),
-                              duration_ms=duration_ms, terminals=terminals)
-                out[contention][system].append(
-                    (ratio, round(result.throughput_tps, 1),
-                     round(result.average_latency_ms, 1)))
+    for point in outcome:
+        out[point.params["contention"]][point.params["system"]].append(
+            (point.params["ratio"], round(point.summary.throughput_tps, 1),
+             round(point.summary.average_latency_ms, 1)))
     if report:
         for contention in contentions:
             rows = []
@@ -175,21 +176,21 @@ def fig8_latency_cdf(contentions: Sequence[str] = ("low", "medium", "high"),
                      distributed_ratio: float = 0.6,
                      duration_ms: float = QUICK_DURATION_MS,
                      terminals: int = QUICK_TERMINALS,
-                     cdf_points: int = 20, report: bool = False) -> Dict:
+                     cdf_points: int = 20, report: bool = False,
+                     workers: Optional[int] = None) -> Dict:
     """Latency CDFs with 60 % distributed transactions (Fig. 8)."""
-    out: Dict[str, Dict[str, object]] = {}
-    for contention in contentions:
-        skew = CONTENTION_SKEW[contention]
-        out[contention] = {}
-        for system in systems:
-            result = _run(system, ycsb=_ycsb(skew=skew, distributed_ratio=distributed_ratio),
-                          duration_ms=duration_ms, terminals=terminals)
-            distribution = result.latency
-            out[contention][system] = {
-                "cdf": distribution.cdf(points=cdf_points),
-                "p99": distribution.p99 if len(distribution) else 0.0,
-                "mean": distribution.mean,
-            }
+    outcome = _sweep_results(
+        "fig8_latency_cdf", axes={"contention": contentions, "system": systems},
+        fixed={"ratio": distributed_ratio},
+        duration_ms=duration_ms, terminals=terminals, workers=workers)
+    out: Dict[str, Dict[str, object]] = {c: {} for c in contentions}
+    for point in outcome:
+        distribution = point.summary.latency
+        out[point.params["contention"]][point.params["system"]] = {
+            "cdf": distribution.cdf(points=cdf_points),
+            "p99": distribution.p99 if len(distribution) else 0.0,
+            "mean": distribution.mean,
+        }
     if report:
         for contention in contentions:
             rows = [(system, round(data["mean"], 1), round(data["p99"], 1))
@@ -205,19 +206,18 @@ def fig9_distributed_ratio_tpcc(ratios: Sequence[float] = (0.2, 0.6, 1.0),
                                 systems: Sequence[str] = DIST_RATIO_SYSTEMS,
                                 duration_ms: float = QUICK_DURATION_MS,
                                 terminals: int = QUICK_TERMINALS,
-                                report: bool = False) -> Dict:
+                                report: bool = False,
+                                workers: Optional[int] = None) -> Dict:
     """TPC-C Payment / NewOrder throughput and latency vs. distributed ratio (Fig. 9)."""
+    outcome = _sweep_results(
+        "fig9_dist_ratio_tpcc",
+        axes={"txn_type": txn_types, "system": systems, "ratio": ratios},
+        duration_ms=duration_ms, terminals=terminals, workers=workers)
     out: Dict[str, Dict[str, List]] = {t: {s: [] for s in systems} for t in txn_types}
-    for txn_type in txn_types:
-        for system in systems:
-            for ratio in ratios:
-                tpcc = TPCCConfig(mix={txn_type: 1.0}, distributed_ratio=ratio,
-                                  warehouses_per_node=4)
-                result = _run(system, workload="tpcc", tpcc=tpcc,
-                              duration_ms=duration_ms, terminals=terminals)
-                out[txn_type][system].append(
-                    (ratio, round(result.throughput_tps, 1),
-                     round(result.average_latency_ms, 1)))
+    for point in outcome:
+        out[point.params["txn_type"]][point.params["system"]].append(
+            (point.params["ratio"], round(point.summary.throughput_tps, 1),
+             round(point.summary.average_latency_ms, 1)))
     if report:
         for txn_type in txn_types:
             rows = []
@@ -234,37 +234,36 @@ def fig10_latency_sweep(means_ms: Sequence[float] = (20, 40, 60, 80),
                         stds_ms: Sequence[float] = (0, 20, 40),
                         duration_ms: float = QUICK_DURATION_MS,
                         terminals: int = QUICK_TERMINALS,
-                        report: bool = False) -> Dict:
+                        report: bool = False,
+                        workers: Optional[int] = None) -> Dict:
     """Impact of the mean and standard deviation of network latency (Fig. 10).
 
     Fixed-std sweep: three data nodes at mean-10/mean/mean+10 ms.
     Fixed-mean sweep: three nodes whose RTTs are jittered with increasing std.
     """
-    mean_series = []
-    for mean in means_ms:
-        rtts = [max(mean - 10, 1.0), float(mean), mean + 10.0]
-        topology = TopologyConfig.from_rtts(rtts)
-        ssp = _run("ssp", topology=topology, duration_ms=duration_ms, terminals=terminals)
-        geotp = _run("geotp", topology=topology, duration_ms=duration_ms,
-                     terminals=terminals)
-        improvement = (geotp.throughput_tps / ssp.throughput_tps
-                       if ssp.throughput_tps else float("inf"))
-        mean_series.append((mean, round(ssp.throughput_tps, 1),
-                            round(geotp.throughput_tps, 1), round(improvement, 2)))
+    def improvement_rows(outcome, values):
+        # Pair up by position rather than outcome.get() so duplicated axis
+        # values (e.g. means_ms=(20, 20)) keep producing one row each.
+        rows = []
+        ssp_points = outcome.select(system="ssp")
+        geotp_points = outcome.select(system="geotp")
+        for value, ssp_point, geotp_point in zip(values, ssp_points, geotp_points):
+            ssp, geotp = ssp_point.summary, geotp_point.summary
+            improvement = (geotp.throughput_tps / ssp.throughput_tps
+                           if ssp.throughput_tps else float("inf"))
+            rows.append((value, round(ssp.throughput_tps, 1),
+                         round(geotp.throughput_tps, 1), round(improvement, 2)))
+        return rows
 
-    std_series = []
-    for std in stds_ms:
-        # The paper's Figure 10b varies how *spread out* the per-link RTTs are
-        # while keeping their mean fixed: links at mean-std / mean / mean+std.
-        rtts = [max(40.0 - std, 1.0), 40.0, 40.0 + std]
-        topology = TopologyConfig.from_rtts(rtts)
-        ssp = _run("ssp", topology=topology, duration_ms=duration_ms, terminals=terminals)
-        geotp = _run("geotp", topology=topology, duration_ms=duration_ms,
-                     terminals=terminals)
-        improvement = (geotp.throughput_tps / ssp.throughput_tps
-                       if ssp.throughput_tps else float("inf"))
-        std_series.append((std, round(ssp.throughput_tps, 1),
-                           round(geotp.throughput_tps, 1), round(improvement, 2)))
+    mean_outcome = _sweep_results(
+        "fig10_mean_sweep", axes={"mean_rtt_ms": means_ms},
+        duration_ms=duration_ms, terminals=terminals, workers=workers)
+    mean_series = improvement_rows(mean_outcome, means_ms)
+
+    std_outcome = _sweep_results(
+        "fig10_std_sweep", axes={"std_ms": stds_ms},
+        duration_ms=duration_ms, terminals=terminals, workers=workers)
+    std_series = improvement_rows(std_outcome, stds_ms)
 
     if report:
         print_table("Fig 10a — varying mean RTT (fixed spread)",
@@ -281,21 +280,19 @@ def fig11_random_latency(ratios: Sequence[float] = (0.2, 0.6, 1.0),
                          repeats: int = 3, max_factor: float = 1.5,
                          duration_ms: float = QUICK_DURATION_MS,
                          terminals: int = QUICK_TERMINALS,
-                         report: bool = False) -> Dict:
+                         report: bool = False,
+                         workers: Optional[int] = None) -> Dict:
     """Random per-message latency fluctuations (Fig. 11a)."""
+    outcome = _sweep_results(
+        "fig11a_random_latency",
+        axes={"ratio": ratios, "repeat": tuple(range(repeats))},
+        fixed={"max_factor": max_factor},
+        duration_ms=duration_ms, terminals=terminals, workers=workers)
     out: Dict[str, List] = {"ssp": [], "geotp": []}
-    for system in ("ssp", "geotp"):
+    for system in out:
         for ratio in ratios:
-            samples = []
-            for repeat in range(repeats):
-                models = [RandomLatency(base, max_factor=max_factor,
-                                        rng=SeededRNG(100 + repeat * 10 + i))
-                          for i, base in enumerate((10.0, 27.0, 73.0, 151.0))]
-                topology = TopologyConfig.from_latency_models(models)
-                result = _run(system, ycsb=_ycsb(distributed_ratio=ratio),
-                              topology=topology, duration_ms=duration_ms,
-                              terminals=terminals, seed=repeat)
-                samples.append(result.throughput_tps)
+            samples = [point.summary.throughput_tps
+                       for point in outcome.select(system=system, ratio=ratio)]
             out[system].append((ratio, round(sum(samples) / len(samples), 1),
                                 round(min(samples), 1), round(max(samples), 1)))
     if report:
@@ -309,25 +306,20 @@ def fig11_random_latency(ratios: Sequence[float] = (0.2, 0.6, 1.0),
 
 def fig11_dynamic_latency(phase_ms: float = 10_000.0, phases: int = 4,
                           terminals: int = QUICK_TERMINALS,
-                          report: bool = False) -> Dict:
+                          report: bool = False,
+                          workers: Optional[int] = None) -> Dict:
     """Online adaptivity: link latencies change every ``phase_ms`` (Fig. 11b)."""
-    rng = SeededRNG(42)
-    schedules = []
-    for node in range(4):
-        schedule = []
-        for phase in range(phases):
-            schedule.append((phase * phase_ms, rng.uniform(10.0, 200.0)))
-        schedules.append(DynamicLatency(schedule))
+    outcome = _sweep_results(
+        "fig11b_dynamic_latency", fixed={"phase_ms": phase_ms, "phases": phases},
+        terminals=terminals, workers=workers)
     duration = phase_ms * phases
     out = {}
-    for system in ("ssp", "geotp"):
-        topology = TopologyConfig.from_latency_models(schedules)
-        result = _run(system, topology=topology, duration_ms=duration,
-                      warmup_ms=phase_ms / 4, terminals=terminals,
-                      timeline_bucket_ms=phase_ms / 4, active_probing=system == "geotp")
-        out[system] = {
-            "throughput_tps": result.throughput_tps,
-            "timeline": result.timeline.series(until_ms=duration) if result.timeline else [],
+    for point in outcome:
+        summary = point.summary
+        out[point.params["system"]] = {
+            "throughput_tps": summary.throughput_tps,
+            "timeline": (summary.timeline.series(until_ms=duration)
+                         if summary.timeline else []),
         }
     if report:
         rows = [(system, round(data["throughput_tps"], 1)) for system, data in out.items()]
@@ -337,31 +329,22 @@ def fig11_dynamic_latency(phase_ms: float = 10_000.0, phases: int = 4,
 
 
 # -------------------------------------------------------------------- Fig. 12
-ABLATION_VARIANTS = ("ssp", "geotp_o1", "geotp_o1_o2", "geotp_o1_o3")
-
-
 def fig12_ablation(skews: Sequence[float] = (0.3, 0.9, 1.5),
                    distributed_ratio: float = 0.5,
                    duration_ms: float = QUICK_DURATION_MS,
                    terminals: int = QUICK_TERMINALS,
-                   report: bool = False) -> Dict:
+                   report: bool = False,
+                   workers: Optional[int] = None) -> Dict:
     """The O1 / O1-O2 / O1-O3 ablation across skew factors (Fig. 12)."""
-    base = GeoTPConfig()
-    variants = {
-        "ssp": ("ssp", None),
-        "geotp_o1": ("geotp", base.ablation_o1()),
-        "geotp_o1_o2": ("geotp", base.ablation_o1_o2()),
-        "geotp_o1_o3": ("geotp", base.ablation_o1_o3()),
-    }
-    out: Dict[str, List] = {name: [] for name in variants}
-    for skew in skews:
-        for name, (system, geotp_config) in variants.items():
-            result = _run(system, ycsb=_ycsb(skew=skew, distributed_ratio=distributed_ratio),
-                          geotp=geotp_config, duration_ms=duration_ms,
-                          terminals=terminals)
-            out[name].append((skew, round(result.throughput_tps, 1),
-                              round(result.p99_latency_ms, 1),
-                              round(result.abort_rate * 100, 1)))
+    outcome = _sweep_results(
+        "fig12_ablation", axes={"skew": skews}, fixed={"ratio": distributed_ratio},
+        duration_ms=duration_ms, terminals=terminals, workers=workers)
+    out: Dict[str, List] = {name: [] for name in ABLATION_VARIANTS}
+    for point in outcome:
+        out[point.params["variant"]].append(
+            (point.params["skew"], round(point.summary.throughput_tps, 1),
+             round(point.summary.p99_latency_ms, 1),
+             round(point.summary.abort_rate * 100, 1)))
     if report:
         rows = [(name, skew, tput, p99, abort)
                 for name, points in out.items()
@@ -375,16 +358,18 @@ def fig12_ablation(skews: Sequence[float] = (0.3, 0.9, 1.5),
 def fig13_yugabyte(contentions: Sequence[str] = ("low", "medium", "high"),
                    duration_ms: float = QUICK_DURATION_MS,
                    terminals: int = QUICK_TERMINALS,
-                   report: bool = False) -> Dict:
+                   report: bool = False,
+                   workers: Optional[int] = None) -> Dict:
     """Comparison against the YugabyteDB-like distributed database (Fig. 13)."""
+    outcome = _sweep_results(
+        "fig13_yugabyte", axes={"contention": contentions},
+        duration_ms=duration_ms, terminals=terminals, workers=workers)
     out: Dict[str, List] = {"ssp": [], "geotp": [], "yugabyte": []}
-    for contention in contentions:
-        skew = CONTENTION_SKEW[contention]
-        for system in out:
-            result = _run(system, ycsb=_ycsb(skew=skew), duration_ms=duration_ms,
-                          terminals=terminals)
-            out[system].append((contention, round(result.throughput_tps, 1),
-                                round(result.average_latency_ms, 1)))
+    for system in out:
+        for point in outcome.select(system=system):
+            out[system].append((point.params["contention"],
+                                round(point.summary.throughput_tps, 1),
+                                round(point.summary.average_latency_ms, 1)))
     if report:
         rows = [(system, contention, tput, latency)
                 for system, points in out.items()
@@ -399,26 +384,27 @@ def fig14_length_and_rounds(lengths: Sequence[int] = (5, 15, 25),
                             rounds: Sequence[int] = (1, 3, 6),
                             duration_ms: float = QUICK_DURATION_MS,
                             terminals: int = QUICK_TERMINALS,
-                            report: bool = False) -> Dict:
+                            report: bool = False,
+                            workers: Optional[int] = None) -> Dict:
     """Impact of transaction length and interaction rounds (Fig. 14)."""
+    length_outcome = _sweep_results(
+        "fig14_length", axes={"length": lengths},
+        duration_ms=duration_ms, terminals=terminals, workers=workers)
     length_series: Dict[str, List] = {"ssp": [], "geotp": []}
-    for system in length_series:
-        for length in lengths:
-            result = _run(system, ycsb=_ycsb(operations_per_transaction=length),
-                          duration_ms=duration_ms, terminals=terminals)
-            length_series[system].append((length, round(result.throughput_tps, 1)))
+    for point in length_outcome:
+        length_series[point.params["system"]].append(
+            (point.params["length"], round(point.summary.throughput_tps, 1)))
 
+    rounds_outcome = _sweep_results(
+        "fig14_rounds", axes={"rounds": rounds},
+        duration_ms=duration_ms, terminals=terminals, workers=workers)
     round_series: Dict[str, Dict[str, List]] = {"low": {}, "medium": {}}
     for contention in round_series:
-        skew = CONTENTION_SKEW[contention]
         for system in ("ssp", "geotp"):
-            round_series[contention][system] = []
-            for round_count in rounds:
-                result = _run(system, ycsb=_ycsb(
-                    skew=skew, operations_per_transaction=max(6, round_count),
-                    rounds=round_count), duration_ms=duration_ms, terminals=terminals)
-                round_series[contention][system].append(
-                    (round_count, round(result.throughput_tps, 1)))
+            round_series[contention][system] = [
+                (point.params["rounds"], round(point.summary.throughput_tps, 1))
+                for point in rounds_outcome.select(contention=contention,
+                                                   system=system)]
     if report:
         print_table("Fig 14a — transaction length (medium contention)",
                     ["system", *[f"len {n}" for n in lengths]],
@@ -435,17 +421,18 @@ def fig14_length_and_rounds(lengths: Sequence[int] = (5, 15, 25),
 # -------------------------------------------------------------------- Fig. 15
 def fig15_multi_region(duration_ms: float = QUICK_DURATION_MS,
                        terminals: int = QUICK_TERMINALS,
-                       report: bool = False) -> Dict:
+                       report: bool = False,
+                       workers: Optional[int] = None) -> Dict:
     """Single- versus multi-middleware deployment (Fig. 15)."""
+    outcome = _sweep_results("fig15_multi_region", duration_ms=duration_ms,
+                             terminals=terminals, workers=workers)
     out = {}
     for system in ("ssp", "geotp"):
-        single = _run(system, topology=TopologyConfig.paper_default(),
-                      duration_ms=duration_ms, terminals=terminals)
-        multi = _run(system, topology=TopologyConfig.multi_middleware(),
-                     duration_ms=duration_ms, terminals=terminals)
         out[system] = {
-            "single_middleware_tps": round(single.throughput_tps, 1),
-            "multi_middleware_tps": round(multi.throughput_tps, 1),
+            "single_middleware_tps": round(
+                outcome.get(system=system, deployment="single").throughput_tps, 1),
+            "multi_middleware_tps": round(
+                outcome.get(system=system, deployment="multi").throughput_tps, 1),
         }
     if report:
         rows = [(system, data["single_middleware_tps"], data["multi_middleware_tps"])
@@ -456,31 +443,22 @@ def fig15_multi_region(duration_ms: float = QUICK_DURATION_MS,
 
 
 # -------------------------------------------------------------------- Table I
-HETEROGENEOUS_SCENARIOS = {
-    "S1": ["mysql", "mysql", "mysql", "mysql"],
-    "S2": ["postgresql", "mysql", "postgresql", "mysql"],
-    "S3": ["postgresql", "postgresql", "postgresql", "postgresql"],
-}
-
-
 def table1_heterogeneous(ratios: Sequence[float] = (0.25, 0.75),
                          duration_ms: float = QUICK_DURATION_MS,
                          terminals: int = QUICK_TERMINALS,
-                         report: bool = False) -> Dict:
+                         report: bool = False,
+                         workers: Optional[int] = None) -> Dict:
     """Heterogeneous MySQL/PostgreSQL deployments (Table I)."""
-    out: Dict[str, Dict] = {}
-    for scenario, dialects in HETEROGENEOUS_SCENARIOS.items():
-        out[scenario] = {}
-        topology = TopologyConfig.paper_default(dialects=dialects)
-        for ratio in ratios:
-            for system in ("ssp", "geotp"):
-                result = _run(system, ycsb=_ycsb(distributed_ratio=ratio),
-                              topology=topology, duration_ms=duration_ms,
-                              terminals=terminals)
-                out[scenario][(system, ratio)] = {
-                    "throughput_tps": round(result.throughput_tps, 1),
-                    "avg_latency_ms": round(result.average_latency_ms, 1),
-                }
+    outcome = _sweep_results(
+        "table1_heterogeneous", axes={"ratio": ratios},
+        duration_ms=duration_ms, terminals=terminals, workers=workers)
+    out: Dict[str, Dict] = {scenario: {} for scenario in HETEROGENEOUS_SCENARIOS}
+    for point in outcome:
+        out[point.params["deployment"]][(point.params["system"],
+                                         point.params["ratio"])] = {
+            "throughput_tps": round(point.summary.throughput_tps, 1),
+            "avg_latency_ms": round(point.summary.average_latency_ms, 1),
+        }
     if report:
         rows = []
         for scenario, cells in out.items():
@@ -496,23 +474,21 @@ def table1_heterogeneous(ratios: Sequence[float] = (0.25, 0.75),
 # ------------------------------------------------------- extra ablation benches
 def extra_design_ablations(duration_ms: float = QUICK_DURATION_MS,
                            terminals: int = QUICK_TERMINALS,
-                           report: bool = False) -> Dict:
+                           report: bool = False,
+                           workers: Optional[int] = None) -> Dict:
     """Sensitivity of GeoTP to its own design knobs (beyond the paper's figures)."""
-    out = {"ewma_alpha": [], "hotspot_capacity": [], "admission_retries": []}
-    for alpha in (0.2, 0.8):
-        result = _run("geotp", geotp=GeoTPConfig(ewma_alpha=alpha),
-                      duration_ms=duration_ms, terminals=terminals)
-        out["ewma_alpha"].append((alpha, round(result.throughput_tps, 1)))
-    for capacity in (64, 4096):
-        result = _run("geotp", geotp=GeoTPConfig(hotspot_capacity=capacity),
-                      ycsb=_ycsb(skew=CONTENTION_SKEW["high"]),
-                      duration_ms=duration_ms, terminals=terminals)
-        out["hotspot_capacity"].append((capacity, round(result.throughput_tps, 1)))
-    for retries in (0, 10):
-        result = _run("geotp", geotp=GeoTPConfig(admission_max_retries=retries),
-                      ycsb=_ycsb(skew=CONTENTION_SKEW["high"]),
-                      duration_ms=duration_ms, terminals=terminals)
-        out["admission_retries"].append((retries, round(result.throughput_tps, 1)))
+    sweeps = {
+        "ewma_alpha": ("extra_ewma_alpha", "ewma_alpha"),
+        "hotspot_capacity": ("extra_hotspot_capacity", "hotspot_capacity"),
+        "admission_retries": ("extra_admission_retries", "admission_max_retries"),
+    }
+    out: Dict[str, List] = {}
+    for knob, (scenario_name, axis_name) in sweeps.items():
+        outcome = _sweep_results(scenario_name, duration_ms=duration_ms,
+                                 terminals=terminals, workers=workers)
+        out[knob] = [(point.params[axis_name],
+                      round(point.summary.throughput_tps, 1))
+                     for point in outcome]
     if report:
         for knob, points in out.items():
             print_table(f"Design ablation — {knob}", [knob, "tput (tps)"], points)

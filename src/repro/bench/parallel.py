@@ -1,0 +1,161 @@
+"""Parallel execution of scenario sweeps.
+
+Every :class:`~repro.bench.scenarios.SweepPoint` is an independent simulation
+(its config is a private deep copy, the simulator is fully seeded), so a sweep
+is embarrassingly parallel.  :class:`SweepRunner` expands a sweep and fans the
+points out over a :class:`concurrent.futures.ProcessPoolExecutor`; workers
+return the slim :class:`~repro.bench.runner.ExperimentSummary` (never the live
+collector or cluster), and results are re-ordered by point index so the output
+is byte-identical no matter which worker finished first.
+
+``max_workers=1`` (the default, unless ``REPRO_BENCH_WORKERS`` says otherwise)
+runs every point in-process — that is what the unit tests and any caller that
+wants strict single-core determinism use; the parallel path produces the same
+results because each point is seeded from its own config, not from shared
+state.  If the platform cannot spawn worker processes (some sandboxes forbid
+it) the runner logs a warning and falls back to the serial path instead of
+failing the sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.bench.runner import ExperimentSummary, run_experiment
+from repro.bench.scenarios import SweepPoint, SweepSpec
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV_VAR = "REPRO_BENCH_WORKERS"
+
+
+def resolve_worker_count(max_workers: Optional[int] = None) -> int:
+    """Resolve the worker count: explicit value, else env var, else serial."""
+    if max_workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            max_workers = int(raw)
+        except ValueError:
+            raise ValueError(f"{WORKERS_ENV_VAR} must be an integer "
+                             f"(got {raw!r})") from None
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1 (got {max_workers})")
+    return max_workers
+
+
+@dataclass
+class PointResult:
+    """One executed sweep point: its axis values and the result summary."""
+
+    index: int
+    params: Dict[str, Any]
+    summary: ExperimentSummary
+    wall_clock_s: float
+
+
+@dataclass
+class SweepResult:
+    """All point results of one sweep, ordered by point index."""
+
+    sweep_name: str
+    results: List[PointResult]
+    wall_clock_s: float
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        self.results = sorted(self.results, key=lambda r: r.index)
+
+    def __iter__(self) -> Iterator[PointResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> PointResult:
+        return self.results[index]
+
+    def summaries(self) -> List[ExperimentSummary]:
+        """The per-point summaries, in point order."""
+        return [result.summary for result in self.results]
+
+    def select(self, **params: Any) -> List[PointResult]:
+        """All point results whose params match every given key/value."""
+        return [result for result in self.results
+                if all(result.params.get(k) == v for k, v in params.items())]
+
+    def get(self, **params: Any) -> ExperimentSummary:
+        """The unique summary matching the given params (raises otherwise)."""
+        matches = self.select(**params)
+        if len(matches) != 1:
+            raise KeyError(f"{len(matches)} points match {params!r} "
+                           f"in sweep {self.sweep_name!r}")
+        return matches[0].summary
+
+
+def run_sweep_point(point: SweepPoint) -> PointResult:
+    """Execute one sweep point and summarise it (the worker entry point).
+
+    Module-level on purpose: worker processes import it by qualified name, and
+    both the argument (a :class:`SweepPoint`) and the return value (a
+    :class:`PointResult`) must stay picklable.
+    """
+    started = time.perf_counter()
+    summary = run_experiment(point.config).summary()
+    return PointResult(index=point.index, params=dict(point.params),
+                       summary=summary,
+                       wall_clock_s=time.perf_counter() - started)
+
+
+class SweepRunner:
+    """Expands a sweep into points and executes them, serially or in parallel."""
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = resolve_worker_count(max_workers)
+
+    def run(self, sweep: SweepSpec) -> SweepResult:
+        """Run every point of ``sweep`` and return the ordered results.
+
+        ``SweepResult.workers`` records the worker count that actually ran the
+        points (1 when the pool was unavailable and the serial fallback ran).
+        """
+        points = sweep.points()
+        started = time.perf_counter()
+        if self.max_workers <= 1 or len(points) <= 1:
+            results, used_workers = [run_sweep_point(p) for p in points], 1
+        else:
+            results, used_workers = self._run_parallel(points)
+        return SweepResult(sweep_name=sweep.name, results=results,
+                           wall_clock_s=time.perf_counter() - started,
+                           workers=used_workers)
+
+    def _run_parallel(self, points: List[SweepPoint]):
+        workers = min(self.max_workers, len(points))
+        completed: List[PointResult] = []
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(run_sweep_point, point) for point in points]
+                for future in as_completed(futures):
+                    completed.append(future.result())
+            return completed, workers
+        except (BrokenProcessPool, OSError, PermissionError) as exc:
+            if completed:
+                # The pool worked and then died mid-sweep (e.g. a worker was
+                # OOM-killed): that is a real failure — surface it instead of
+                # silently re-running everything serially.
+                raise
+            warnings.warn(f"process pool unavailable ({exc!r}); "
+                          f"falling back to serial execution", RuntimeWarning)
+            return [run_sweep_point(point) for point in points], 1
+
+
+def run_scenario_sweep(sweep: SweepSpec,
+                       max_workers: Optional[int] = None) -> SweepResult:
+    """Convenience wrapper: ``SweepRunner(max_workers).run(sweep)``."""
+    return SweepRunner(max_workers=max_workers).run(sweep)

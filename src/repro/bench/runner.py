@@ -10,8 +10,8 @@ This is the public entry point used by the examples and every benchmark:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
 
 from repro.baselines.scalardb import ScalarDBConfig
 from repro.cluster.client import start_terminals
@@ -53,6 +53,90 @@ class ExperimentConfig:
 
 
 @dataclass
+class ExperimentSummary:
+    """The slim, picklable aggregate of one experiment point.
+
+    This is what crosses process boundaries when sweeps run on a worker pool
+    (:class:`~repro.bench.parallel.SweepRunner`): plain scalars, sample lists
+    and small value objects — never the live ``collector`` or ``cluster``,
+    which hold simulation processes and stay local to the worker.
+    """
+
+    system: str
+    workload: str
+    terminals: int
+    seed: int
+    measured_duration_ms: float
+    throughput_tps: float
+    average_latency_ms: float
+    p99_latency_ms: float
+    abort_rate: float
+    committed: int
+    aborted: int
+    breakdown: Dict[str, float]
+    resources: ResourceUsage
+    abort_reasons: Dict[str, int]
+    #: Latency samples (ms) of committed transactions, split by distribution.
+    latency_samples: List[float]
+    centralized_latency_samples: List[float]
+    distributed_latency_samples: List[float]
+    timeline: Optional[ThroughputTimeline] = None
+
+    # ------------------------------------------------------------ conveniences
+    @property
+    def latency(self) -> LatencyDistribution:
+        """Latency distribution of all committed transactions."""
+        return LatencyDistribution(self.latency_samples)
+
+    def latency_for(self, distributed: Optional[bool] = None) -> LatencyDistribution:
+        """Latency distribution filtered by centralized/distributed."""
+        if distributed is None:
+            return self.latency
+        samples = (self.distributed_latency_samples if distributed
+                   else self.centralized_latency_samples)
+        return LatencyDistribution(samples)
+
+    def summary_row(self):
+        """A compact row used by the report tables."""
+        return (self.system, round(self.throughput_tps, 1),
+                round(self.average_latency_ms, 1), round(self.p99_latency_ms, 1),
+                round(self.abort_rate * 100, 1))
+
+    def to_dict(self, include_samples: bool = False) -> Dict:
+        """A JSON-serialisable dict (the CLI output format)."""
+        out = {
+            "system": self.system,
+            "workload": self.workload,
+            "terminals": self.terminals,
+            "seed": self.seed,
+            "measured_duration_ms": self.measured_duration_ms,
+            "throughput_tps": self.throughput_tps,
+            "average_latency_ms": self.average_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "abort_rate": self.abort_rate,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "breakdown": dict(self.breakdown),
+            "abort_reasons": dict(self.abort_reasons),
+            "resources": {
+                "work_units": self.resources.work_units,
+                "wan_messages": self.resources.wan_messages,
+                "metadata_bytes": self.resources.metadata_bytes,
+                "work_per_commit": self.resources.work_per_commit,
+                "wan_messages_per_commit": self.resources.wan_messages_per_commit,
+            },
+        }
+        if self.timeline is not None:
+            out["timeline"] = {
+                "bucket_ms": self.timeline.bucket_ms,
+                "series": [list(pair) for pair in self.timeline.series()],
+            }
+        if include_samples:
+            out["latency_samples"] = list(self.latency_samples)
+        return out
+
+
+@dataclass
 class ExperimentResult:
     """Aggregated outcome of one experiment point."""
 
@@ -72,6 +156,7 @@ class ExperimentResult:
     collector: MetricsCollector
     timeline: Optional[ThroughputTimeline] = None
     cluster: Optional[Cluster] = None
+    seed: int = 0
 
     # ------------------------------------------------------------ conveniences
     def throughput_for(self, txn_type: str) -> float:
@@ -94,17 +179,43 @@ class ExperimentResult:
                 round(self.average_latency_ms, 1), round(self.p99_latency_ms, 1),
                 round(self.abort_rate * 100, 1))
 
+    def summary(self) -> ExperimentSummary:
+        """The picklable summary of this result (drops collector/cluster)."""
+        return ExperimentSummary(
+            system=self.system,
+            workload=self.workload,
+            terminals=self.terminals,
+            seed=self.seed,
+            measured_duration_ms=self.measured_duration_ms,
+            throughput_tps=self.throughput_tps,
+            average_latency_ms=self.average_latency_ms,
+            p99_latency_ms=self.p99_latency_ms,
+            abort_rate=self.abort_rate,
+            committed=self.committed,
+            aborted=self.aborted,
+            breakdown=dict(self.breakdown),
+            resources=self.resources,
+            abort_reasons=self.collector.abort_reasons(),
+            latency_samples=self.latency.samples,
+            centralized_latency_samples=self.collector.latency_distribution(
+                distributed=False).samples,
+            distributed_latency_samples=self.collector.latency_distribution(
+                distributed=True).samples,
+            timeline=self.timeline,
+        )
+
 
 def make_workload(config: ExperimentConfig, node_names) -> Workload:
-    """Instantiate the workload generator selected by ``config``."""
+    """Instantiate the workload generator selected by ``config``.
+
+    The workload config is copied before the experiment seed is stamped onto
+    it, so a ``YCSBConfig``/``TPCCConfig`` shared across several
+    ``ExperimentConfig``s never silently carries the last seed it ran with.
+    """
     if config.workload == "ycsb":
-        ycsb = config.ycsb
-        ycsb.seed = config.seed
-        return YCSBWorkload(node_names, ycsb)
+        return YCSBWorkload(node_names, replace(config.ycsb, seed=config.seed))
     if config.workload == "tpcc":
-        tpcc = config.tpcc
-        tpcc.seed = config.seed
-        return TPCCWorkload(node_names, tpcc)
+        return TPCCWorkload(node_names, replace(config.tpcc, seed=config.seed))
     raise ValueError(f"unknown workload {config.workload!r}")
 
 
@@ -166,4 +277,5 @@ def run_experiment(config: ExperimentConfig,
         collector=collector,
         timeline=timeline,
         cluster=cluster if keep_cluster else None,
+        seed=config.seed,
     )

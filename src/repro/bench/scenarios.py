@@ -1,0 +1,559 @@
+"""Declarative scenario registry for the experiment layer.
+
+Every paper table/figure is expressed here as a :class:`ScenarioSpec`: a base
+:class:`~repro.bench.runner.ExperimentConfig` plus named parameter *axes*
+(e.g. ``system x terminals`` or ``contention x system x ratio``).  A scenario
+expands into a :class:`SweepSpec`, whose cartesian product of axis values
+yields independent, picklable :class:`SweepPoint`\\ s that
+:class:`~repro.bench.parallel.SweepRunner` can execute serially or across a
+process pool.
+
+Three layers use the registry:
+
+* ``repro.bench.experiments`` — each ``fig*``/``table1`` function looks up its
+  scenario, overrides scale knobs, runs the sweep and reshapes the rows into
+  the dict the paper plots;
+* ``python -m repro.bench`` — the CLI lists scenarios and runs any of them
+  with ``--workers/--duration-ms/--terminals/--seed`` overrides;
+* the pytest benchmarks — reduced-scale runs share :data:`BENCH_SCALE` instead
+  of re-declaring scale constants per file.
+
+Adding a new scenario is declarative: register a ``ScenarioSpec`` with a base
+config, axes and (when an axis does not map 1:1 onto a config field) a
+module-level *apply* function — no new runner loop is ever written.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bench.runner import ExperimentConfig
+from repro.cluster.topology import TopologyConfig
+from repro.core.config import GeoTPConfig
+from repro.sim.latency import DynamicLatency, RandomLatency
+from repro.sim.rng import SeededRNG
+from repro.workloads.tpcc import TPCCConfig
+from repro.workloads.ycsb import CONTENTION_SKEW, YCSBConfig
+
+
+# --------------------------------------------------------------------- scales
+@dataclass(frozen=True)
+class Scale:
+    """A reduced-scale preset: how long and how wide each experiment point runs."""
+
+    duration_ms: float
+    warmup_ms: float
+    terminals: int
+
+
+#: Default scale of the experiment functions (EXPERIMENTS.md uses larger values).
+QUICK_SCALE = Scale(duration_ms=10_000.0, warmup_ms=2_000.0, terminals=48)
+#: Scale shared by the pytest benchmark suite (see ``benchmarks/conftest.py``).
+BENCH_SCALE = Scale(duration_ms=20_000.0, warmup_ms=2_000.0, terminals=32)
+
+
+# ----------------------------------------------------------------- sweep model
+@dataclass(frozen=True)
+class Axis:
+    """One named sweep dimension.
+
+    ``path`` optionally names the dotted ``ExperimentConfig`` attribute the
+    values are written to (e.g. ``"ycsb.skew"``).  Without a path, a value is
+    applied automatically when ``name`` is an ``ExperimentConfig`` field;
+    otherwise the scenario's *apply* function is responsible for it.
+    """
+
+    name: str
+    values: Tuple[Any, ...]
+    path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise ValueError(f"axis {self.name!r} needs at least one value")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One expanded experiment point: its axis values and the full config."""
+
+    index: int
+    params: Dict[str, Any]
+    config: ExperimentConfig
+
+
+_CONFIG_FIELDS = {f.name for f in fields(ExperimentConfig)}
+
+
+def set_config_param(config: ExperimentConfig, path: str, value: Any) -> None:
+    """Set a dotted attribute path (e.g. ``"ycsb.skew"``) on ``config``."""
+    target: Any = config
+    parts = path.split(".")
+    for part in parts[:-1]:
+        target = getattr(target, part)
+    if not hasattr(target, parts[-1]):
+        raise AttributeError(f"config has no parameter {path!r}")
+    setattr(target, parts[-1], value)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A concrete sweep: base config x axes, ready for expansion."""
+
+    name: str
+    base: ExperimentConfig
+    axes: Tuple[Axis, ...]
+    #: Parameters shared by every point, passed to ``apply`` alongside the
+    #: axis values (e.g. the fixed distributed ratio of Figure 8).
+    fixed: Dict[str, Any] = field(default_factory=dict)
+    #: Module-level callable ``(config, params) -> config`` handling axis
+    #: names that do not map directly onto config attributes.
+    apply: Optional[Callable[[ExperimentConfig, Dict[str, Any]], ExperimentConfig]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "axes", tuple(self.axes))
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate axis names in sweep {self.name!r}")
+
+    def size(self) -> int:
+        """Number of experiment points the sweep expands into."""
+        total = 1
+        for axis in self.axes:
+            total *= len(axis.values)
+        return total
+
+    def points(self) -> List[SweepPoint]:
+        """Expand the cartesian product of all axes, in declaration order.
+
+        Each point gets its own deep copy of the base config, so points are
+        independently mutable and safely picklable across worker processes.
+        """
+        out: List[SweepPoint] = []
+        combos = itertools.product(*(axis.values for axis in self.axes))
+        for index, combo in enumerate(combos):
+            params = dict(self.fixed)
+            params.update(zip((axis.name for axis in self.axes), combo))
+            config = copy.deepcopy(self.base)
+            for axis, value in zip(self.axes, combo):
+                path = axis.path
+                if path is None and axis.name in _CONFIG_FIELDS:
+                    path = axis.name
+                if path is not None:
+                    set_config_param(config, path, value)
+            if self.apply is not None:
+                config = self.apply(config, params) or config
+            out.append(SweepPoint(index=index, params=params, config=config))
+        return out
+
+
+# ------------------------------------------------------------------- registry
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A registered, named experiment family (one paper figure or table part)."""
+
+    name: str
+    description: str
+    base: ExperimentConfig
+    axes: Tuple[Axis, ...]
+    fixed: Dict[str, Any] = field(default_factory=dict)
+    apply: Optional[Callable[[ExperimentConfig, Dict[str, Any]], ExperimentConfig]] = None
+
+    def sweep(self, axes: Optional[Mapping[str, Sequence[Any]]] = None,
+              fixed: Optional[Mapping[str, Any]] = None,
+              **overrides: Any) -> SweepSpec:
+        """Derive a concrete :class:`SweepSpec` from this scenario.
+
+        ``axes`` replaces the values of named axes (axis order is preserved);
+        ``fixed`` merges into the scenario's fixed parameters; keyword
+        ``overrides`` are written onto a copy of the base config — plain field
+        names or dotted paths spelled with ``__`` (``ycsb__skew=1.5``).
+        ``None`` overrides are ignored so callers can pass optional knobs
+        straight through.
+        """
+        base = copy.deepcopy(self.base)
+        for key, value in overrides.items():
+            if value is None:
+                continue
+            set_config_param(base, key.replace("__", "."), value)
+        new_axes = []
+        axes = dict(axes or {})
+        for axis in self.axes:
+            if axis.name in axes:
+                new_axes.append(replace(axis, values=tuple(axes.pop(axis.name))))
+            else:
+                new_axes.append(axis)
+        if axes:
+            raise KeyError(f"scenario {self.name!r} has no axes {sorted(axes)}")
+        merged_fixed = dict(self.fixed)
+        merged_fixed.update(fixed or {})
+        return SweepSpec(name=self.name, base=base, axes=tuple(new_axes),
+                         fixed=merged_fixed, apply=self.apply)
+
+
+SCENARIOS: Dict[str, ScenarioSpec] = {}
+
+
+def register(scenario: ScenarioSpec) -> ScenarioSpec:
+    """Add a scenario to the global registry (last registration wins)."""
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; registered: {known}") from None
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+# ------------------------------------------------------------ config factories
+def default_ycsb(skew: float = CONTENTION_SKEW["medium"],
+                 distributed_ratio: float = 0.2, **kwargs: Any) -> YCSBConfig:
+    """The YCSB configuration the experiment functions default to."""
+    return YCSBConfig(skew=skew, distributed_ratio=distributed_ratio, **kwargs)
+
+
+def _base(system: str = "geotp", scale: Scale = QUICK_SCALE,
+          **kwargs: Any) -> ExperimentConfig:
+    kwargs.setdefault("ycsb", default_ycsb())
+    kwargs.setdefault("terminals", scale.terminals)
+    kwargs.setdefault("duration_ms", scale.duration_ms)
+    kwargs.setdefault("warmup_ms", scale.warmup_ms)
+    return ExperimentConfig(system=system, **kwargs)
+
+
+# ------------------------------------------------------------- apply functions
+# These must stay module-level functions: sweeps reference them by identity
+# and the expanded points they produce must remain picklable.
+
+def apply_ycsb_params(config: ExperimentConfig,
+                      params: Dict[str, Any]) -> ExperimentConfig:
+    """Apply the common YCSB axis names onto ``config.ycsb``."""
+    ycsb = config.ycsb
+    if "contention" in params:
+        ycsb.skew = CONTENTION_SKEW[params["contention"]]
+    if "skew" in params:
+        ycsb.skew = params["skew"]
+    if "ratio" in params:
+        ycsb.distributed_ratio = params["ratio"]
+    if "length" in params:
+        ycsb.operations_per_transaction = params["length"]
+    return config
+
+
+def _apply_fig1(config: ExperimentConfig, params: Dict[str, Any]) -> ExperimentConfig:
+    config.topology = TopologyConfig.from_rtts([10.0, float(params["ds2_latency_ms"])])
+    return apply_ycsb_params(config, params)
+
+
+def _apply_fig9(config: ExperimentConfig, params: Dict[str, Any]) -> ExperimentConfig:
+    config.tpcc = TPCCConfig(mix={params["txn_type"]: 1.0},
+                             distributed_ratio=params["ratio"],
+                             warehouses_per_node=4)
+    return config
+
+
+def _apply_fig10_mean(config: ExperimentConfig,
+                      params: Dict[str, Any]) -> ExperimentConfig:
+    mean = float(params["mean_rtt_ms"])
+    config.topology = TopologyConfig.from_rtts([max(mean - 10.0, 1.0), mean,
+                                                mean + 10.0])
+    return config
+
+
+def _apply_fig10_std(config: ExperimentConfig,
+                     params: Dict[str, Any]) -> ExperimentConfig:
+    std = float(params["std_ms"])
+    mean = float(params.get("mean_rtt_ms", 40.0))
+    config.topology = TopologyConfig.from_rtts([max(mean - std, 1.0), mean,
+                                                mean + std])
+    return config
+
+
+#: Base per-link RTTs of the random-latency experiment (Fig. 11a).
+FIG11A_BASE_RTTS = (10.0, 27.0, 73.0, 151.0)
+
+
+def _apply_fig11a(config: ExperimentConfig,
+                  params: Dict[str, Any]) -> ExperimentConfig:
+    repeat = params["repeat"]
+    max_factor = params.get("max_factor", 1.5)
+    models = [RandomLatency(base, max_factor=max_factor,
+                            rng=SeededRNG(100 + repeat * 10 + i))
+              for i, base in enumerate(FIG11A_BASE_RTTS)]
+    config.topology = TopologyConfig.from_latency_models(models)
+    config.seed = repeat
+    return apply_ycsb_params(config, params)
+
+
+def _apply_fig11b(config: ExperimentConfig,
+                  params: Dict[str, Any]) -> ExperimentConfig:
+    phase_ms = params["phase_ms"]
+    phases = params["phases"]
+    rng = SeededRNG(42)
+    schedules = []
+    for _node in range(4):
+        schedule = [(phase * phase_ms, rng.uniform(10.0, 200.0))
+                    for phase in range(phases)]
+        schedules.append(DynamicLatency(schedule))
+    config.topology = TopologyConfig.from_latency_models(schedules)
+    config.duration_ms = phase_ms * phases
+    config.warmup_ms = phase_ms / 4
+    config.timeline_bucket_ms = phase_ms / 4
+    config.active_probing = config.system == "geotp"
+    return config
+
+
+#: The Figure 12 ablation variants: variant name -> (system, GeoTP config factory).
+ABLATION_BUILDERS: Dict[str, Tuple[str, Optional[Callable[[], GeoTPConfig]]]] = {
+    "ssp": ("ssp", None),
+    "geotp_o1": ("geotp", lambda: GeoTPConfig().ablation_o1()),
+    "geotp_o1_o2": ("geotp", lambda: GeoTPConfig().ablation_o1_o2()),
+    "geotp_o1_o3": ("geotp", lambda: GeoTPConfig().ablation_o1_o3()),
+}
+
+
+def _apply_fig12(config: ExperimentConfig,
+                 params: Dict[str, Any]) -> ExperimentConfig:
+    system, geotp_factory = ABLATION_BUILDERS[params["variant"]]
+    config.system = system
+    config.geotp = geotp_factory() if geotp_factory else None
+    return apply_ycsb_params(config, params)
+
+
+def _apply_fig14_rounds(config: ExperimentConfig,
+                        params: Dict[str, Any]) -> ExperimentConfig:
+    rounds = params["rounds"]
+    config.ycsb.operations_per_transaction = max(6, rounds)
+    config.ycsb.rounds = rounds
+    return apply_ycsb_params(config, params)
+
+
+def _apply_fig15(config: ExperimentConfig,
+                 params: Dict[str, Any]) -> ExperimentConfig:
+    if params["deployment"] == "multi":
+        config.topology = TopologyConfig.multi_middleware()
+    else:
+        config.topology = TopologyConfig.paper_default()
+    return config
+
+
+#: Table I deployment scenarios: per-node SQL dialects.
+HETEROGENEOUS_SCENARIOS = {
+    "S1": ["mysql", "mysql", "mysql", "mysql"],
+    "S2": ["postgresql", "mysql", "postgresql", "mysql"],
+    "S3": ["postgresql", "postgresql", "postgresql", "postgresql"],
+}
+
+
+def _apply_table1(config: ExperimentConfig,
+                  params: Dict[str, Any]) -> ExperimentConfig:
+    dialects = HETEROGENEOUS_SCENARIOS[params["deployment"]]
+    config.topology = TopologyConfig.paper_default(dialects=dialects)
+    return apply_ycsb_params(config, params)
+
+
+def _apply_extra_geotp(config: ExperimentConfig,
+                       params: Dict[str, Any]) -> ExperimentConfig:
+    knobs = {k: v for k, v in params.items()
+             if k in ("ewma_alpha", "hotspot_capacity", "admission_max_retries")}
+    config.geotp = GeoTPConfig(**knobs)
+    return config
+
+
+# --------------------------------------------------------- registered scenarios
+#: The five systems compared in the overall evaluation (Fig. 5).
+OVERALL_SYSTEMS = ("ssp", "ssp_local", "scalardb", "scalardb_plus", "geotp")
+#: The systems swept against the distributed-transaction ratio (Figs. 7 and 9).
+DIST_RATIO_SYSTEMS = ("ssp", "quro", "chiller", "geotp")
+
+register(ScenarioSpec(
+    name="fig1b",
+    description="Centralized-txn latency vs the DM-DS2 RTT (motivation, Fig. 1b)",
+    base=_base("ssp", terminals=8,
+               ycsb=default_ycsb(distributed_ratio=0.2, home_node=0,
+                                 records_per_node=5_000)),
+    axes=(Axis("contention", ("low", "medium")),
+          Axis("ds2_latency_ms", (20, 40, 60, 80, 100))),
+    apply=_apply_fig1,
+))
+
+register(ScenarioSpec(
+    name="fig5_overall",
+    description="Throughput vs client terminals for the five systems (Fig. 5)",
+    base=_base(),
+    axes=(Axis("system", OVERALL_SYSTEMS), Axis("terminals", (16, 48, 96))),
+))
+
+register(ScenarioSpec(
+    name="fig6_breakdown",
+    description="Resource proxies and per-phase latency breakdown (Fig. 6)",
+    base=_base(),
+    axes=(Axis("system", ("ssp", "geotp")),),
+))
+
+register(ScenarioSpec(
+    name="fig7_dist_ratio_ycsb",
+    description="YCSB throughput/latency vs distributed-transaction ratio (Fig. 7)",
+    base=_base(),
+    axes=(Axis("contention", ("low", "medium", "high")),
+          Axis("system", DIST_RATIO_SYSTEMS),
+          Axis("ratio", (0.2, 0.6, 1.0))),
+    apply=apply_ycsb_params,
+))
+
+register(ScenarioSpec(
+    name="fig8_latency_cdf",
+    description="Latency CDFs with a fixed distributed ratio (Fig. 8)",
+    base=_base(),
+    axes=(Axis("contention", ("low", "medium", "high")),
+          Axis("system", ("ssp", "ssp_local", "geotp"))),
+    fixed={"ratio": 0.6},
+    apply=apply_ycsb_params,
+))
+
+register(ScenarioSpec(
+    name="fig9_dist_ratio_tpcc",
+    description="TPC-C Payment/NewOrder vs distributed-transaction ratio (Fig. 9)",
+    base=_base(workload="tpcc"),
+    axes=(Axis("txn_type", ("payment", "new_order")),
+          Axis("system", DIST_RATIO_SYSTEMS),
+          Axis("ratio", (0.2, 0.6, 1.0))),
+    apply=_apply_fig9,
+))
+
+register(ScenarioSpec(
+    name="fig10_mean_sweep",
+    description="Sensitivity to the mean network RTT (Fig. 10a)",
+    base=_base(),
+    axes=(Axis("mean_rtt_ms", (20, 40, 60, 80)), Axis("system", ("ssp", "geotp"))),
+    apply=_apply_fig10_mean,
+))
+
+register(ScenarioSpec(
+    name="fig10_std_sweep",
+    description="Sensitivity to the RTT spread at a fixed mean (Fig. 10b)",
+    base=_base(),
+    axes=(Axis("std_ms", (0, 20, 40)), Axis("system", ("ssp", "geotp"))),
+    apply=_apply_fig10_std,
+))
+
+register(ScenarioSpec(
+    name="fig11a_random_latency",
+    description="Random per-message latency fluctuations (Fig. 11a)",
+    base=_base(),
+    axes=(Axis("system", ("ssp", "geotp")),
+          Axis("ratio", (0.2, 0.6, 1.0)),
+          Axis("repeat", (0, 1, 2))),
+    fixed={"max_factor": 1.5},
+    apply=_apply_fig11a,
+))
+
+register(ScenarioSpec(
+    name="fig11b_dynamic_latency",
+    description="Online adaptivity to scheduled latency changes (Fig. 11b)",
+    base=_base(),
+    axes=(Axis("system", ("ssp", "geotp")),),
+    fixed={"phase_ms": 10_000.0, "phases": 4},
+    apply=_apply_fig11b,
+))
+
+register(ScenarioSpec(
+    name="fig12_ablation",
+    description="O1 / O1-O2 / O1-O3 ablation across skew factors (Fig. 12)",
+    base=_base(),
+    axes=(Axis("skew", (0.3, 0.9, 1.5)),
+          Axis("variant", tuple(ABLATION_BUILDERS))),
+    fixed={"ratio": 0.5},
+    apply=_apply_fig12,
+))
+
+register(ScenarioSpec(
+    name="fig13_yugabyte",
+    description="Comparison against a YugabyteDB-like database (Fig. 13)",
+    base=_base(),
+    axes=(Axis("contention", ("low", "medium", "high")),
+          Axis("system", ("ssp", "geotp", "yugabyte"))),
+    apply=apply_ycsb_params,
+))
+
+register(ScenarioSpec(
+    name="fig14_length",
+    description="Impact of transaction length (Fig. 14a)",
+    base=_base(),
+    axes=(Axis("system", ("ssp", "geotp")), Axis("length", (5, 15, 25))),
+    apply=apply_ycsb_params,
+))
+
+register(ScenarioSpec(
+    name="fig14_rounds",
+    description="Impact of client interaction rounds (Fig. 14b/c)",
+    base=_base(),
+    axes=(Axis("contention", ("low", "medium")),
+          Axis("system", ("ssp", "geotp")),
+          Axis("rounds", (1, 3, 6))),
+    apply=_apply_fig14_rounds,
+))
+
+register(ScenarioSpec(
+    name="fig15_multi_region",
+    description="Single- vs multi-middleware deployment (Fig. 15)",
+    base=_base(),
+    axes=(Axis("system", ("ssp", "geotp")),
+          Axis("deployment", ("single", "multi"))),
+    apply=_apply_fig15,
+))
+
+register(ScenarioSpec(
+    name="table1_heterogeneous",
+    description="Heterogeneous MySQL/PostgreSQL deployments (Table I)",
+    base=_base(),
+    axes=(Axis("deployment", tuple(HETEROGENEOUS_SCENARIOS)),
+          Axis("ratio", (0.25, 0.75)),
+          Axis("system", ("ssp", "geotp"))),
+    apply=_apply_table1,
+))
+
+register(ScenarioSpec(
+    name="extra_ewma_alpha",
+    description="GeoTP sensitivity to the latency-monitor EWMA alpha",
+    base=_base(),
+    axes=(Axis("ewma_alpha", (0.2, 0.8)),),
+    apply=_apply_extra_geotp,
+))
+
+register(ScenarioSpec(
+    name="extra_hotspot_capacity",
+    description="GeoTP sensitivity to the hotspot-statistics capacity",
+    base=_base(ycsb=default_ycsb(skew=CONTENTION_SKEW["high"])),
+    axes=(Axis("hotspot_capacity", (64, 4096)),),
+    apply=_apply_extra_geotp,
+))
+
+register(ScenarioSpec(
+    name="extra_admission_retries",
+    description="GeoTP sensitivity to the admission-control retry budget",
+    base=_base(ycsb=default_ycsb(skew=CONTENTION_SKEW["high"])),
+    axes=(Axis("admission_max_retries", (0, 10)),),
+    apply=_apply_extra_geotp,
+))
+
+register(ScenarioSpec(
+    name="smoke",
+    description="Tiny two-system sweep for CI smoke tests and quick sanity runs",
+    base=_base(terminals=4, duration_ms=2_500.0, warmup_ms=500.0,
+               ycsb=default_ycsb(skew=0.5, records_per_node=1_000,
+                                 preload_rows_per_node=200)),
+    axes=(Axis("system", ("ssp", "geotp")),),
+))

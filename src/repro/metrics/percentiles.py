@@ -22,7 +22,11 @@ def percentile(values: Sequence[float], fraction: float) -> float:
     lower = int(position)
     upper = min(lower + 1, len(ordered) - 1)
     weight = position - lower
-    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+    low, high = ordered[lower], ordered[upper]
+    # Clamp: the interpolation can land one ulp outside [low, high] (e.g.
+    # v*(1-w) + v*w < v for tiny w), which would report a quantile outside
+    # the sample range.
+    return min(max(low * (1.0 - weight) + high * weight, low), high)
 
 
 class LatencyDistribution:

@@ -187,7 +187,12 @@ class MiddlewareBase:
         def observe(_event) -> None:
             self.record_network_rtt(participant, self.env.now - sent_at)
 
-        if event.callbacks is not None:
+        if event.callbacks is None:
+            # The reply was already processed (an immediate local response):
+            # the callback list is gone, so record the observation now instead
+            # of silently dropping the sample.
+            observe(event)
+        else:
             event.callbacks.append(observe)
         return event
 

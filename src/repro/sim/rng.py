@@ -92,8 +92,12 @@ class ZipfianGenerator:
         self._zeta2 = self._zeta(2, theta)
         self._zetan = self._zeta(item_count, theta)
         self._alpha = 1.0 / (1.0 - theta) if theta != 1.0 else float("inf")
-        self._eta = ((1.0 - math.pow(2.0 / item_count, 1.0 - theta))
-                     / (1.0 - self._zeta2 / self._zetan)) if theta != 1.0 else 0.0
+        # With item_count == 2 the zetas coincide and eta's 0/0 is never
+        # consulted: next() resolves both items through its closed-form
+        # branches before reaching eta, so any finite value is safe.
+        denominator = 1.0 - self._zeta2 / self._zetan
+        self._eta = ((1.0 - math.pow(2.0 / item_count, 1.0 - theta)) / denominator
+                     if theta != 1.0 and denominator != 0.0 else 0.0)
 
     @staticmethod
     def _zeta(n: int, theta: float) -> float:

@@ -102,7 +102,11 @@ class LockManager:
         self.lock_wait_timeout_ms = lock_wait_timeout_ms
         self.enable_deadlock_detection = enable_deadlock_detection
         self._locks: Dict[Hashable, _LockEntry] = {}
-        self._held_by_txn: Dict[str, Set[Hashable]] = {}
+        # Keys per transaction in *acquisition order* (an insertion-ordered
+        # dict used as a set).  Iteration order feeds lock hand-off on release,
+        # so it must not depend on the per-process string hash seed — a plain
+        # set here made whole simulations diverge between processes.
+        self._held_by_txn: Dict[str, Dict[Hashable, None]] = {}
         self.stats = LockStats()
 
     # -------------------------------------------------------------- inspection
@@ -118,7 +122,7 @@ class LockManager:
 
     def locks_held(self, txn_id: str) -> Set[Hashable]:
         """Keys currently locked by ``txn_id``."""
-        return set(self._held_by_txn.get(txn_id, set()))
+        return set(self._held_by_txn.get(txn_id, ()))
 
     def waiting_transactions(self, key: Hashable) -> List[str]:
         """Transaction ids queued on ``key`` in FIFO order."""
@@ -191,7 +195,7 @@ class LockManager:
         else:
             effective = request.mode
         entry.holders[request.txn_id] = effective
-        self._held_by_txn.setdefault(request.txn_id, set()).add(request.key)
+        self._held_by_txn.setdefault(request.txn_id, {})[request.key] = None
         request.granted_at = self.env.now
         waited = request.granted_at - request.requested_at
         self.stats.acquisitions += 1
@@ -200,8 +204,12 @@ class LockManager:
 
     # ----------------------------------------------------------------- release
     def release_all(self, txn_id: str) -> None:
-        """Release every lock held by ``txn_id`` and grant eligible waiters."""
-        keys = self._held_by_txn.pop(txn_id, set())
+        """Release every lock held by ``txn_id`` and grant eligible waiters.
+
+        Locks are handed off in acquisition order, which keeps simultaneous
+        grant decisions deterministic across processes.
+        """
+        keys = self._held_by_txn.pop(txn_id, {})
         for key in keys:
             entry = self._locks.get(key)
             if entry is None:
@@ -233,19 +241,28 @@ class LockManager:
                 progressed = True
 
     # ------------------------------------------------------- deadlock detection
-    def wait_for_graph(self) -> Dict[str, Set[str]]:
-        """Edges ``waiter -> holder`` of the current wait-for graph."""
-        graph: Dict[str, Set[str]] = {}
+    def _wait_for_edges(self) -> Dict[str, Dict[str, None]]:
+        """Ordered ``waiter -> holders`` edges of the current wait-for graph.
+
+        Holders are listed in lock-grant order (never hash order), so the
+        deadlock search below visits them deterministically across processes.
+        """
+        graph: Dict[str, Dict[str, None]] = {}
         for entry in self._locks.values():
             for request in entry.queue:
-                blockers = {holder for holder in entry.holders
-                            if holder != request.txn_id}
-                if blockers:
-                    graph.setdefault(request.txn_id, set()).update(blockers)
-        return graph
+                blockers = graph.setdefault(request.txn_id, {})
+                for holder in entry.holders:
+                    if holder != request.txn_id:
+                        blockers[holder] = None
+        return {waiter: blockers for waiter, blockers in graph.items() if blockers}
+
+    def wait_for_graph(self) -> Dict[str, Set[str]]:
+        """Edges ``waiter -> holder`` of the current wait-for graph."""
+        return {waiter: set(blockers)
+                for waiter, blockers in self._wait_for_edges().items()}
 
     def _find_cycle_from(self, start: str) -> Optional[List[str]]:
-        graph = self.wait_for_graph()
+        graph = self._wait_for_edges()
         path: List[str] = []
         visited: Set[str] = set()
 
@@ -256,7 +273,7 @@ class LockManager:
                 return None
             visited.add(node)
             path.append(node)
-            for neighbour in graph.get(node, set()):
+            for neighbour in graph.get(node, ()):
                 cycle = visit(neighbour)
                 if cycle:
                     return cycle

@@ -1,0 +1,85 @@
+"""Tests for the ``python -m repro.bench`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+def test_list_prints_every_registered_scenario(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig5_overall", "table1_heterogeneous", "smoke"):
+        assert name in out
+    assert "system[2]" in out  # axes are summarised next to each name
+
+
+def test_run_unknown_scenario_fails_with_message(capsys):
+    assert main(["run", "nope"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_run_smoke_emits_json_rows(capsys):
+    assert main(["run", "smoke", "--workers", "1", "--duration-ms", "2000",
+                 "--terminals", "2", "--seed", "1"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["scenario"] == "smoke"
+    assert document["workers"] == 1
+    assert document["points"] == 2
+    assert document["wall_clock_s"] >= 0
+    systems = [row["params"]["system"] for row in document["rows"]]
+    assert systems == ["ssp", "geotp"]
+    for row in document["rows"]:
+        assert row["seed"] == 1
+        assert row["terminals"] == 2
+        assert row["committed"] > 0
+        assert row["throughput_tps"] > 0
+        assert "resources" in row and "breakdown" in row
+
+
+def test_run_writes_output_file(tmp_path, capsys):
+    target = tmp_path / "smoke.json"
+    assert main(["run", "smoke", "--duration-ms", "1500", "--warmup-ms", "300",
+                 "--terminals", "2", "--output", str(target)]) == 0
+    document = json.loads(target.read_text())
+    assert document["points"] == 2
+    assert "wrote 2 points" in capsys.readouterr().err
+
+
+def test_override_collapses_a_matching_axis(capsys):
+    """``--terminals`` must win even when terminals is a sweep axis."""
+    assert main(["run", "fig5_overall", "--duration-ms", "2500",
+                 "--terminals", "2", "--workers", "1"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["points"] == 5  # 5 systems x 1 collapsed terminal count
+    assert all(row["terminals"] == 2 for row in document["rows"])
+
+
+def test_override_recomputed_by_apply_is_reported(capsys):
+    """fig11b derives duration from its phase schedule; the user must be told."""
+    assert main(["run", "fig11b_dynamic_latency", "--duration-ms", "2000",
+                 "--terminals", "2", "--workers", "1"]) == 0
+    captured = capsys.readouterr()
+    assert "note: --duration-ms is recomputed per point" in captured.err
+    document = json.loads(captured.out)
+    # fig11b rows carry the throughput timeline the figure is about.
+    assert all("timeline" in row and row["timeline"]["series"]
+               for row in document["rows"])
+
+
+@pytest.mark.parametrize("argv", [
+    ["run", "smoke", "--workers", "0"],
+    ["run", "smoke", "--duration-ms", "500", "--warmup-ms", "600"],
+])
+def test_invalid_values_fail_cleanly_without_tracebacks(argv, capsys):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+
+
+@pytest.mark.parametrize("argv", [[], ["run"]])
+def test_missing_arguments_exit_with_usage_error(argv):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2

@@ -55,6 +55,39 @@ def test_run_experiment_returns_consistent_metrics():
     assert result.resources.committed >= result.committed
 
 
+def test_make_workload_does_not_mutate_shared_workload_configs():
+    """Regression: the runner used to stamp ``config.seed`` onto the shared
+    YCSB/TPC-C config in place, so a config reused across experiments silently
+    carried the last seed."""
+    ycsb = YCSBConfig()
+    workload = make_workload(ExperimentConfig(ycsb=ycsb, seed=7), ["ds0", "ds1"])
+    assert workload.config.seed == 7
+    assert ycsb.seed == 0
+    assert workload.config is not ycsb
+
+    tpcc = TPCCConfig()
+    workload = make_workload(ExperimentConfig(workload="tpcc", tpcc=tpcc, seed=9),
+                             ["ds0", "ds1"])
+    assert workload.config.seed == 9
+    assert tpcc.seed == 0
+
+
+def test_shared_workload_config_keeps_per_experiment_seeds():
+    """Two experiments sharing one YCSBConfig must generate from their own seeds."""
+    shared = YCSBConfig(records_per_node=1000, preload_rows_per_node=200)
+    first = make_workload(ExperimentConfig(ycsb=shared, seed=1), ["ds0", "ds1"])
+    second = make_workload(ExperimentConfig(ycsb=shared, seed=2), ["ds0", "ds1"])
+    specs_first = [first.next_transaction(0) for _ in range(5)]
+    specs_second = [second.next_transaction(0) for _ in range(5)]
+    assert first.config.seed == 1 and second.config.seed == 2
+
+    def keys(specs):
+        return [[stmt.operation.key for stmt in spec.all_statements]
+                for spec in specs]
+
+    assert keys(specs_first) != keys(specs_second)
+
+
 def test_run_experiment_rejects_bad_warmup_and_unknown_workload():
     with pytest.raises(ValueError):
         run_experiment(ExperimentConfig(duration_ms=1000, warmup_ms=2000))

@@ -48,6 +48,13 @@ def test_latency_distribution_stats_and_cdf():
     assert LatencyDistribution([]).cdf() == []
 
 
+def test_percentile_interpolation_never_leaves_the_sample_range():
+    """Regression: v*(1-w) + v*w can round one ulp below v for tiny w."""
+    value = 2.2313463813688646e-173
+    result = percentile([value] * 3, 1.192092896e-07)
+    assert result == value
+
+
 @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200),
        st.floats(min_value=0, max_value=1))
 @settings(max_examples=60, deadline=None)

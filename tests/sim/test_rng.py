@@ -86,6 +86,15 @@ def test_zipfian_distinct_sampling_cannot_exceed_keyspace():
         gen.sample_many(6, distinct=True)
 
 
+def test_zipfian_two_item_key_space_does_not_divide_by_zero():
+    """Regression: item_count=2 makes zeta(2) == zeta(n), so eta's
+    denominator vanished; eta is never consulted for two items, so the
+    generator must simply work."""
+    generator = ZipfianGenerator(2, 2.0, rng=SeededRNG(0))
+    samples = [generator.next() for _ in range(50)]
+    assert set(samples) <= {0, 1}
+
+
 @given(item_count=st.integers(min_value=1, max_value=100_000),
        theta=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
        seed=st.integers(min_value=0, max_value=2**31 - 1))
