@@ -20,6 +20,12 @@ from repro.bench.parallel import (
     SweepRunner,
     run_scenario_sweep,
 )
+from repro.bench.perf import (
+    PerfMetrics,
+    compare_to_baseline,
+    measure_scenario,
+    run_perf,
+)
 from repro.bench.report import format_table, print_series, print_table
 from repro.bench.runner import (
     ExperimentConfig,
@@ -42,8 +48,12 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "ExperimentSummary",
+    "PerfMetrics",
     "PointResult",
     "SCENARIOS",
+    "compare_to_baseline",
+    "measure_scenario",
+    "run_perf",
     "ScenarioSpec",
     "SweepPoint",
     "SweepResult",

@@ -3,12 +3,14 @@
 ``python -m repro.bench list`` shows every registered scenario with its axes;
 ``python -m repro.bench run NAME`` expands the scenario into sweep points,
 executes them (optionally across a process pool) and emits a JSON document
-with one row per point.  Examples::
+with one row per point; ``python -m repro.bench perf`` times scenarios and
+compares against the committed ``BENCH_baseline.json``.  Examples::
 
     PYTHONPATH=src python -m repro.bench list
     PYTHONPATH=src python -m repro.bench run smoke --workers 2
     PYTHONPATH=src python -m repro.bench run fig5_overall \\
         --duration-ms 5000 --terminals 16 --workers 4 --output fig5.json
+    PYTHONPATH=src python -m repro.bench perf --quick --output BENCH_ci.json
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.bench import perf as perf_mod
 from repro.bench.parallel import SweepRunner, SweepResult
 from repro.bench.scenarios import SCENARIOS, get_scenario, scenario_names
 
@@ -44,6 +47,32 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="override the base RNG seed of every point")
     run.add_argument("--output", default=None,
                      help="write the JSON document here instead of stdout")
+
+    perf = commands.add_parser(
+        "perf", help="time scenarios and compare against the committed baseline")
+    perf.add_argument("--quick", action="store_true",
+                      help=f"time only the quick suite {list(perf_mod.QUICK_SUITE)}")
+    perf.add_argument("--scenarios", nargs="+", default=None,
+                      help="explicit scenario names to time (overrides the suite)")
+    perf.add_argument("--repeats", type=int, default=3,
+                      help="repetitions per scenario; the best wall clock is kept")
+    perf.add_argument("--workers", type=int, default=1,
+                      help="process-pool size (default: serial, the stable setting)")
+    perf.add_argument("--tag", default="local",
+                      help="tag recorded in the output document")
+    perf.add_argument("--baseline", default=perf_mod.DEFAULT_BASELINE,
+                      help="baseline JSON to compare against "
+                           f"(default: {perf_mod.DEFAULT_BASELINE})")
+    perf.add_argument("--threshold", type=float, default=perf_mod.DEFAULT_THRESHOLD,
+                      help="allowed slowdown vs the baseline before failing "
+                           "(default: 0.30 = 30%%)")
+    perf.add_argument("--output", default=None,
+                      help="write BENCH_<tag>.json content here instead of stdout")
+    perf.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline file with this run's metrics")
+    perf.add_argument("--require-baseline", action="store_true",
+                      help="fail (exit 1) when the baseline file cannot be "
+                           "loaded instead of just warning (used by CI)")
     return parser
 
 
@@ -116,11 +145,57 @@ def _run_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_perf(args: argparse.Namespace) -> int:
+    if args.scenarios:
+        names = args.scenarios
+    elif args.quick:
+        names = list(perf_mod.QUICK_SUITE)
+    else:
+        names = list(perf_mod.FULL_SUITE)
+    try:
+        for name in names:
+            get_scenario(name)  # fail fast on unknown names
+        document = perf_mod.run_perf(
+            names, repeats=args.repeats, max_workers=args.workers, tag=args.tag,
+            baseline_path=None if args.update_baseline else args.baseline,
+            threshold=args.threshold)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    rendered = json.dumps(document, indent=2)
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"baseline updated: {args.baseline}", file=sys.stderr)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote perf document to {args.output}", file=sys.stderr)
+    elif not args.update_baseline:
+        print(rendered)
+    baseline_error = document.get("baseline_error")
+    if baseline_error is not None:
+        print(f"warning: {baseline_error}", file=sys.stderr)
+        if args.require_baseline:
+            print("error: --require-baseline set and no baseline was loaded",
+                  file=sys.stderr)
+            return 1
+    regressions = document.get("regressions", [])
+    if regressions:
+        print(f"PERF REGRESSION (> {args.threshold:.0%} slower than baseline): "
+              f"{', '.join(regressions)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _list_scenarios()
+    if args.command == "perf":
+        return _run_perf(args)
     return _run_scenario(args)
 
 

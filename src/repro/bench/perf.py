@@ -1,0 +1,234 @@
+"""Perf-regression harness for the simulation core.
+
+``python -m repro.bench perf`` times registered scenarios through the same
+:class:`~repro.bench.parallel.SweepRunner` the experiments use, collects
+engine-level throughput metrics (events/sec, committed txns/sec, peak RSS) and
+compares the wall clock against a committed baseline (``BENCH_baseline.json``)
+with a configurable regression threshold.  CI runs ``perf --quick`` on every
+push and fails when a scenario slows down by more than the threshold.
+
+Methodology notes
+-----------------
+
+* Every scenario is run ``repeats`` times and the **best** wall clock is kept:
+  minimum-of-N is the standard way to suppress scheduler noise when measuring
+  a single-threaded workload.
+* The comparison is wall-clock based and therefore machine-sensitive.  The
+  committed baseline was produced on the development container (single CPU
+  core); regenerate it with ``perf --update-baseline`` when switching
+  hardware, and read CI failures near the threshold with that caveat in mind.
+* ``events_per_sec`` divides the total simulation queue entries dispatched
+  (``ExperimentSummary.events_processed``) by the wall clock, which makes it
+  insensitive to scenario composition — it is the purest measure of engine
+  speed this harness reports.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.bench.parallel import SweepRunner
+from repro.bench.scenarios import get_scenario
+
+#: Scenarios timed by ``perf --quick`` (the CI gate).
+QUICK_SUITE = ("smoke", "perf_scale")
+#: Scenarios timed by a full ``perf`` run.
+FULL_SUITE = ("smoke", "perf_scale", "fig6_breakdown")
+
+#: Default committed-baseline location (repo root).
+DEFAULT_BASELINE = "BENCH_baseline.json"
+#: Default allowed slowdown before a run counts as a regression (30 %).
+DEFAULT_THRESHOLD = 0.30
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalise to
+    bytes.  The value is a high-water mark for the whole process lifetime.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux container in CI
+        return int(peak)
+    return int(peak * 1024)
+
+
+@dataclass
+class PerfMetrics:
+    """Measured performance of one scenario sweep (serial by default)."""
+
+    scenario: str
+    points: int
+    repeats: int
+    #: Best-of-``repeats`` wall clock for the whole sweep, in seconds.
+    wall_clock_s: float
+    #: Wall clock of every repeat, best first not guaranteed (run order).
+    all_wall_clocks_s: List[float]
+    #: Simulation queue entries dispatched per wall-clock second.
+    events_per_sec: float
+    #: Committed transactions per wall-clock second.
+    committed_per_sec: float
+    #: Total events / committed transactions across all points (per repeat).
+    events_processed: int
+    committed: int
+    peak_rss_bytes: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "points": self.points,
+            "repeats": self.repeats,
+            "wall_clock_s": round(self.wall_clock_s, 5),
+            "all_wall_clocks_s": [round(w, 5) for w in self.all_wall_clocks_s],
+            "events_per_sec": round(self.events_per_sec, 1),
+            "committed_per_sec": round(self.committed_per_sec, 2),
+            "events_processed": self.events_processed,
+            "committed": self.committed,
+            "peak_rss_bytes": self.peak_rss_bytes,
+        }
+
+
+def measure_scenario(name: str, repeats: int = 3, max_workers: int = 1,
+                     **overrides: Any) -> PerfMetrics:
+    """Time one registered scenario; keyword overrides shrink it for tests.
+
+    ``overrides`` are forwarded to :meth:`ScenarioSpec.sweep` (e.g.
+    ``duration_ms=1_000.0, terminals=4``), so unit tests can exercise the
+    harness in milliseconds while the CLI times the scenario as registered.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    sweep = get_scenario(name).sweep(**overrides)
+    runner = SweepRunner(max_workers=max_workers)
+    walls: List[float] = []
+    events = committed = 0
+    points = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = runner.run(sweep)
+        walls.append(time.perf_counter() - started)
+        summaries = result.summaries()
+        points = len(summaries)
+        events = sum(s.events_processed for s in summaries)
+        committed = sum(s.committed for s in summaries)
+    best = min(walls)
+    return PerfMetrics(
+        scenario=name,
+        points=points,
+        repeats=repeats,
+        wall_clock_s=best,
+        all_wall_clocks_s=walls,
+        events_per_sec=events / best if best > 0 else 0.0,
+        committed_per_sec=committed / best if best > 0 else 0.0,
+        events_processed=events,
+        committed=committed,
+        peak_rss_bytes=peak_rss_bytes(),
+    )
+
+
+@dataclass
+class Comparison:
+    """One scenario's wall clock measured against the committed baseline."""
+
+    scenario: str
+    wall_clock_s: float
+    baseline_wall_clock_s: Optional[float]
+    #: current / baseline; > 1 means slower than the baseline.
+    ratio: Optional[float]
+    regression: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "wall_clock_s": round(self.wall_clock_s, 5),
+            "baseline_wall_clock_s": (
+                round(self.baseline_wall_clock_s, 5)
+                if self.baseline_wall_clock_s is not None else None),
+            "ratio": round(self.ratio, 3) if self.ratio is not None else None,
+            "regression": self.regression,
+        }
+
+
+def compare_to_baseline(metrics: Sequence[PerfMetrics], baseline: Dict[str, Any],
+                        threshold: float = DEFAULT_THRESHOLD) -> List[Comparison]:
+    """Compare measured wall clocks against a loaded baseline document.
+
+    A scenario regresses when it is more than ``threshold`` slower than its
+    baseline entry (ratio > 1 + threshold).  Scenarios absent from the
+    baseline are reported with ``ratio=None`` and never count as regressions.
+    """
+    by_name = {m["scenario"]: m for m in baseline.get("metrics", [])}
+    out: List[Comparison] = []
+    for metric in metrics:
+        base = by_name.get(metric.scenario)
+        if base is None or not base.get("wall_clock_s"):
+            out.append(Comparison(metric.scenario, metric.wall_clock_s,
+                                  None, None, False))
+            continue
+        ratio = metric.wall_clock_s / base["wall_clock_s"]
+        out.append(Comparison(metric.scenario, metric.wall_clock_s,
+                              base["wall_clock_s"], ratio,
+                              ratio > 1.0 + threshold))
+    return out
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    """Load a baseline document written by :func:`build_document`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def build_document(tag: str, metrics: Sequence[PerfMetrics],
+                   comparisons: Optional[Sequence[Comparison]] = None,
+                   threshold: float = DEFAULT_THRESHOLD,
+                   reference: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Assemble the ``BENCH_<tag>.json`` document."""
+    doc: Dict[str, Any] = {
+        "kind": "repro-bench-perf",
+        "tag": tag,
+        "python": sys.version.split()[0],
+        "platform": sys.platform,
+        "threshold": threshold,
+        "metrics": [m.to_dict() for m in metrics],
+    }
+    if comparisons is not None:
+        doc["baseline_comparison"] = [c.to_dict() for c in comparisons]
+        doc["regressions"] = sorted(c.scenario for c in comparisons if c.regression)
+    if reference:
+        doc["reference"] = dict(reference)
+    return doc
+
+
+def run_perf(scenarios: Sequence[str], repeats: int = 3, max_workers: int = 1,
+             tag: str = "local", baseline_path: Optional[str] = None,
+             threshold: float = DEFAULT_THRESHOLD,
+             reference: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Measure ``scenarios`` and build the result document.
+
+    When ``baseline_path`` names a readable baseline, a comparison section is
+    included; the caller decides what to do about ``doc["regressions"]``.  A
+    baseline that cannot be loaded is recorded as ``doc["baseline_error"]``
+    instead of being silently ignored, so the regression gate never fails
+    open without a trace.
+    """
+    metrics = [measure_scenario(name, repeats=repeats, max_workers=max_workers)
+               for name in scenarios]
+    comparisons = None
+    baseline_error = None
+    if baseline_path:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (OSError, ValueError) as exc:
+            baseline_error = f"cannot load baseline {baseline_path!r}: {exc}"
+        else:
+            comparisons = compare_to_baseline(metrics, baseline, threshold)
+    doc = build_document(tag, metrics, comparisons, threshold,
+                         reference=reference)
+    if baseline_error is not None:
+        doc["baseline_error"] = baseline_error
+    return doc

@@ -550,6 +550,14 @@ register(ScenarioSpec(
 ))
 
 register(ScenarioSpec(
+    name="perf_scale",
+    description="Medium-scale two-system sweep timed by the perf harness "
+                "(lock-manager and event-heap costs only show at this scale)",
+    base=_base(terminals=48, duration_ms=10_000.0, warmup_ms=2_000.0),
+    axes=(Axis("system", ("ssp", "geotp")),),
+))
+
+register(ScenarioSpec(
     name="smoke",
     description="Tiny two-system sweep for CI smoke tests and quick sanity runs",
     base=_base(terminals=4, duration_ms=2_500.0, warmup_ms=500.0,

@@ -36,7 +36,8 @@ class ClientTerminal:
         self.think_time_ms = think_time_ms
         self.transactions_run = 0
         self.process: Process = env.process(self._run(),
-                                            name=f"terminal-{terminal_id}")
+                                            name=f"terminal-{terminal_id}",
+                                            daemon=True)
 
     def _run(self):
         while self.env.now < self.stop_at_ms:

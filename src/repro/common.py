@@ -46,7 +46,7 @@ class AbortReason(enum.Enum):
     FAILURE = "failure"
 
 
-@dataclass
+@dataclass(slots=True)
 class Operation:
     """One read/write against a single record.
 
@@ -65,14 +65,14 @@ class Operation:
     @property
     def is_write(self) -> bool:
         """True if this operation takes an exclusive lock."""
-        return self.op_type in (OpType.WRITE, OpType.UPDATE)
+        return self.op_type is not OpType.READ
 
     def record_id(self) -> Tuple[str, Hashable]:
         """Globally unique record identifier (table, key)."""
         return (self.table, self.key)
 
 
-@dataclass
+@dataclass(slots=True)
 class OperationResult:
     """Result of executing one operation on a data source."""
 
@@ -82,7 +82,7 @@ class OperationResult:
     error: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class SubtxnResult:
     """Result of executing a batch of operations of one subtransaction."""
 
@@ -102,7 +102,7 @@ class SubtxnResult:
     per_record_latency: Dict[Tuple[str, Hashable], float] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class TransactionResult:
     """What the client sees once a transaction finishes."""
 

@@ -27,11 +27,16 @@ def _height(node: Optional[_Node]) -> int:
 
 
 def _update(node: _Node) -> None:
-    node.height = 1 + max(_height(node.left), _height(node.right))
+    left, right = node.left, node.right
+    left_height = left.height if left else 0
+    right_height = right.height if right else 0
+    node.height = (left_height if left_height > right_height
+                   else right_height) + 1
 
 
 def _balance_factor(node: _Node) -> int:
-    return _height(node.left) - _height(node.right)
+    left, right = node.left, node.right
+    return (left.height if left else 0) - (right.height if right else 0)
 
 
 def _rotate_right(y: _Node) -> _Node:
@@ -53,15 +58,21 @@ def _rotate_left(x: _Node) -> _Node:
 
 
 def _rebalance(node: _Node) -> _Node:
-    _update(node)
-    balance = _balance_factor(node)
+    # Height/balance computations are inlined: this runs once per visited
+    # node on every insert/remove, which makes it the tree's hot path.
+    left, right = node.left, node.right
+    left_height = left.height if left else 0
+    right_height = right.height if right else 0
+    node.height = (left_height if left_height > right_height
+                   else right_height) + 1
+    balance = left_height - right_height
     if balance > 1:
-        if _balance_factor(node.left) < 0:
-            node.left = _rotate_left(node.left)
+        if _balance_factor(left) < 0:
+            node.left = _rotate_left(left)
         return _rotate_right(node)
     if balance < -1:
-        if _balance_factor(node.right) > 0:
-            node.right = _rotate_right(node.right)
+        if _balance_factor(right) > 0:
+            node.right = _rotate_right(right)
         return _rotate_left(node)
     return node
 

@@ -59,6 +59,10 @@ _FORWARDED_VERBS = (
 class GeoAgentStats:
     """Counters describing what the agent did (used in tests and reports)."""
 
+    __slots__ = ("executes", "decentralized_prepares",
+                 "early_abort_notifications", "peer_rollbacks_handled",
+                 "forwarded")
+
     def __init__(self) -> None:
         self.executes = 0
         self.decentralized_prepares = 0
@@ -81,28 +85,35 @@ class GeoAgent:
         self._local_xids: Dict[str, str] = {}
         #: Global transaction ids aborted by a peer before we even saw them.
         self._poisoned: Set[str] = set()
+        # Verb dispatch table, built once: ``_serve`` consults it per message.
+        self._handlers = {protocol.MSG_AGENT_EXECUTE: self._on_agent_execute,
+                          protocol.MSG_AGENT_PREPARE: self._on_agent_prepare,
+                          protocol.MSG_PEER_ROLLBACK: self._on_peer_rollback}
+        for verb in _FORWARDED_VERBS:
+            self._handlers[verb] = self._forward
         self._process = env.process(self._serve(), name=f"geoagent:{config.name}")
 
     # ------------------------------------------------------------------ server
     def _serve(self):
+        env_process = self.env.process
+        handlers = self._handlers
+        receive = self.net.receive
         while True:
-            message = yield self.net.receive()
-            self.env.process(self._handle(message),
-                             name=f"{self.name}:{message.msg_type}")
+            message = yield receive()
+            handler = handlers.get(message.msg_type) or self._on_unknown
+            env_process(handler(message), name=message.msg_type, daemon=True)
+
+    def _on_unknown(self, message: Message):
+        if message.reply_event is not None:
+            self.net.reply(message, {"status": "error",
+                                     "error": f"unknown verb {message.msg_type}"})
+        return
+        yield  # pragma: no cover - makes this a generator like real handlers
 
     def _handle(self, message: Message):
-        if message.msg_type == protocol.MSG_AGENT_EXECUTE:
-            yield from self._on_agent_execute(message)
-        elif message.msg_type == protocol.MSG_AGENT_PREPARE:
-            yield from self._on_agent_prepare(message)
-        elif message.msg_type == protocol.MSG_PEER_ROLLBACK:
-            yield from self._on_peer_rollback(message)
-        elif message.msg_type in _FORWARDED_VERBS:
-            yield from self._forward(message)
-        else:
-            if message.reply_event is not None:
-                self.net.reply(message, {"status": "error",
-                                         "error": f"unknown verb {message.msg_type}"})
+        """Handle one message (kept for direct use by tests/tools)."""
+        handler = self._handlers.get(message.msg_type) or self._on_unknown
+        yield from handler(message)
 
     def _forward(self, message: Message):
         """Transparently forward a verb to the data source and relay the reply."""
@@ -114,7 +125,7 @@ class GeoAgent:
 
     # ----------------------------------------------------------- GeoTP execute
     def _on_agent_execute(self, message: Message):
-        payload = dict(message.payload or {})
+        payload = message.payload or {}
         xid = payload["xid"]
         global_txn_id = payload.get("global_txn_id", xid)
         coordinator = payload.get("coordinator", message.sender)
@@ -161,7 +172,7 @@ class GeoAgent:
 
     def _on_agent_prepare(self, message: Message):
         """Explicit prepare request for participants without a last statement."""
-        payload = dict(message.payload or {})
+        payload = message.payload or {}
         xid = payload["xid"]
         global_txn_id = payload.get("global_txn_id", xid)
         coordinator = payload.get("coordinator", message.sender)
@@ -216,7 +227,7 @@ class GeoAgent:
 
     def _on_peer_rollback(self, message: Message):
         """A peer agent told us to abort our branch of a failing transaction."""
-        payload = dict(message.payload or {})
+        payload = message.payload or {}
         global_txn_id = payload["global_txn_id"]
         coordinator = payload.get("coordinator")
         self.stats.peer_rollbacks_handled += 1

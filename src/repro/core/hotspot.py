@@ -33,7 +33,7 @@ def _sortable(record_id: RecordId) -> Tuple[str, str]:
     return (table, f"{type(key).__name__}:{key!r}")
 
 
-@dataclass
+@dataclass(slots=True)
 class HotspotEntry:
     """Statistics of one hot record."""
 
@@ -62,7 +62,11 @@ class HotspotFootprint:
         self.capacity = capacity
         self.alpha = alpha
         self._entries: "OrderedDict[RecordId, HotspotEntry]" = OrderedDict()
+        # The AVL index only serves range lookups, which no hot path issues;
+        # it is rebuilt lazily so the (frequent) entry churn from LRU misses
+        # does not pay tree maintenance on every access.
         self._index = AVLTree()
+        self._index_dirty = False
         self.evictions = 0
 
     def __len__(self) -> int:
@@ -84,7 +88,7 @@ class HotspotFootprint:
             return entry
         entry = HotspotEntry(record_id=record_id)
         self._entries[record_id] = entry
-        self._index.insert(_sortable(record_id), record_id)
+        self._index_dirty = True
         self._evict_if_needed()
         return entry
 
@@ -100,14 +104,25 @@ class HotspotFootprint:
             if victim_id is None:
                 victim_id = next(iter(self._entries))
             self._entries.pop(victim_id)
-            self._index.remove(_sortable(victim_id))
+            self._index_dirty = True
             self.evictions += 1
+
+    def _rebuilt_index(self) -> AVLTree:
+        """The AVL index over the current entries, rebuilding if stale."""
+        if self._index_dirty:
+            index = AVLTree()
+            for record_id in self._entries:
+                index.insert(_sortable(record_id), record_id)
+            self._index = index
+            self._index_dirty = False
+        return self._index
 
     def range_lookup(self, table: str) -> List[RecordId]:
         """All tracked records of ``table`` (via the AVL index range query)."""
         low = (table, "")
         high = (table, "￿")
-        return [record_id for _key, record_id in self._index.range_query(low, high)]
+        return [record_id
+                for _key, record_id in self._rebuilt_index().range_query(low, high)]
 
     # -------------------------------------------------------------- accounting
     def on_access_start(self, record_ids: Iterable[RecordId]) -> None:

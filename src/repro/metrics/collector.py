@@ -9,7 +9,7 @@ from repro.common import TransactionResult, TxnOutcome
 from repro.metrics.percentiles import LatencyDistribution
 
 
-@dataclass
+@dataclass(slots=True)
 class TransactionSample:
     """One completed transaction as seen by a client terminal."""
 
@@ -29,30 +29,48 @@ class MetricsCollector:
     Samples finishing before ``warmup_ms`` are counted separately and excluded
     from throughput/latency statistics, mirroring how benchmark harnesses
     discard ramp-up measurements.
+
+    The unfiltered aggregates (committed/aborted counts, abort-reason
+    histogram) are maintained incrementally on :meth:`record`, so the
+    per-query cost no longer grows with the number of samples; filtered
+    queries (by transaction type or distribution) still scan.
     """
+
+    __slots__ = ("warmup_ms", "samples", "warmup_samples",
+                 "_committed", "_aborted", "_abort_reasons")
 
     def __init__(self, warmup_ms: float = 0.0):
         self.warmup_ms = warmup_ms
         self.samples: List[TransactionSample] = []
         self.warmup_samples = 0
+        self._committed = 0
+        self._aborted = 0
+        self._abort_reasons: Dict[str, int] = {}
 
     # ------------------------------------------------------------- recording
     def record(self, result: TransactionResult, txn_type: str = "generic") -> None:
         """Record the outcome of one transaction."""
-        sample = TransactionSample(
+        if result.end_time < self.warmup_ms:
+            self.warmup_samples += 1
+            return
+        abort_reason = result.abort_reason.value if result.abort_reason else None
+        self.samples.append(TransactionSample(
             txn_id=result.txn_id,
             txn_type=txn_type,
             committed=result.committed,
             is_distributed=result.is_distributed,
             latency_ms=result.latency_ms,
             finished_at=result.end_time,
-            abort_reason=result.abort_reason.value if result.abort_reason else None,
+            abort_reason=abort_reason,
             phase_breakdown=dict(result.phase_breakdown) if result.phase_breakdown else None,
-        )
-        if result.end_time < self.warmup_ms:
-            self.warmup_samples += 1
-            return
-        self.samples.append(sample)
+        ))
+        if result.committed:
+            self._committed += 1
+        else:
+            self._aborted += 1
+            if abort_reason is not None:
+                self._abort_reasons[abort_reason] = (
+                    self._abort_reasons.get(abort_reason, 0) + 1)
 
     # ------------------------------------------------------------ aggregation
     def _filtered(self, committed_only: bool = False, txn_type: Optional[str] = None,
@@ -68,15 +86,22 @@ class MetricsCollector:
 
     def committed_count(self, txn_type: Optional[str] = None) -> int:
         """Number of committed transactions after warm-up."""
+        if txn_type is None:
+            return self._committed
         return len(self._filtered(committed_only=True, txn_type=txn_type))
 
     def aborted_count(self, txn_type: Optional[str] = None) -> int:
         """Number of aborted transactions after warm-up."""
+        if txn_type is None:
+            return self._aborted
         return len([s for s in self._filtered(txn_type=txn_type) if not s.committed])
 
     def abort_rate(self, txn_type: Optional[str] = None) -> float:
         """Fraction of measured transactions that aborted (0 when nothing measured)."""
-        total = len(self._filtered(txn_type=txn_type))
+        if txn_type is None:
+            total = len(self.samples)
+        else:
+            total = len(self._filtered(txn_type=txn_type))
         if total == 0:
             return 0.0
         return self.aborted_count(txn_type) / total
@@ -103,10 +128,5 @@ class MetricsCollector:
         return self.latency_distribution(committed_only, txn_type, distributed).mean
 
     def abort_reasons(self) -> Dict[str, int]:
-        """Histogram of abort reasons after warm-up."""
-        histogram: Dict[str, int] = {}
-        for sample in self.samples:
-            if sample.committed or sample.abort_reason is None:
-                continue
-            histogram[sample.abort_reason] = histogram.get(sample.abort_reason, 0) + 1
-        return histogram
+        """Histogram of abort reasons after warm-up (first-seen order)."""
+        return dict(self._abort_reasons)

@@ -5,17 +5,8 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 
-def percentile(values: Sequence[float], fraction: float) -> float:
-    """The ``fraction``-quantile of ``values`` using linear interpolation.
-
-    ``fraction`` is in [0, 1]; an empty input raises ``ValueError`` so callers
-    never silently report a latency of zero.
-    """
-    if not values:
-        raise ValueError("cannot take a percentile of no samples")
-    if not 0.0 <= fraction <= 1.0:
-        raise ValueError("fraction must be within [0, 1]")
-    ordered = sorted(values)
+def _interpolate(ordered: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated quantile of an already-sorted sample list."""
     if len(ordered) == 1:
         return ordered[0]
     position = fraction * (len(ordered) - 1)
@@ -29,34 +20,73 @@ def percentile(values: Sequence[float], fraction: float) -> float:
     return min(max(low * (1.0 - weight) + high * weight, low), high)
 
 
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction``-quantile of ``values`` using linear interpolation.
+
+    ``fraction`` is in [0, 1]; an empty input raises ``ValueError`` so callers
+    never silently report a latency of zero.
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of no samples")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    return _interpolate(sorted(values), fraction)
+
+
 class LatencyDistribution:
-    """A collection of latency samples with percentile / CDF accessors."""
+    """A collection of latency samples with percentile / CDF accessors.
+
+    The sorted view is computed once and cached; ``add`` invalidates it, so
+    aggregation loops that interleave many percentile reads (``p50``/``p99``/
+    ``p999``/``cdf``) pay for a single sort instead of one per call.
+    """
+
+    __slots__ = ("_samples", "_sorted", "_view", "_total")
 
     def __init__(self, samples: Sequence[float] = ()):
         self._samples: List[float] = list(samples)
+        self._sorted: List[float] = None
+        self._view: Tuple[float, ...] = None
+        self._total: float = sum(self._samples)
 
     def add(self, value: float) -> None:
         """Record one latency sample (milliseconds)."""
         self._samples.append(value)
+        self._total += value
+        self._sorted = None
+        self._view = None
 
     def __len__(self) -> int:
         return len(self._samples)
 
+    def _ordered(self) -> List[float]:
+        ordered = self._sorted
+        if ordered is None:
+            ordered = self._sorted = sorted(self._samples)
+        return ordered
+
     @property
-    def samples(self) -> List[float]:
-        """All recorded samples, in insertion order."""
-        return list(self._samples)
+    def samples(self) -> Tuple[float, ...]:
+        """All recorded samples, in insertion order (read-only view)."""
+        view = self._view
+        if view is None:
+            view = self._view = tuple(self._samples)
+        return view
 
     @property
     def mean(self) -> float:
         """Average latency; 0.0 when empty."""
         if not self._samples:
             return 0.0
-        return sum(self._samples) / len(self._samples)
+        return self._total / len(self._samples)
 
     def p(self, fraction: float) -> float:
         """Latency at the given quantile (e.g. ``p(0.99)``)."""
-        return percentile(self._samples, fraction)
+        if not self._samples:
+            raise ValueError("cannot take a percentile of no samples")
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        return _interpolate(self._ordered(), fraction)
 
     @property
     def p50(self) -> float:
@@ -70,6 +100,22 @@ class LatencyDistribution:
     def p999(self) -> float:
         return self.p(0.999)
 
+    def summary_stats(self) -> dict:
+        """Count/mean/percentiles in one pass over a single sorted view."""
+        if not self._samples:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p99": 0.0, "p999": 0.0}
+        ordered = self._ordered()
+        return {
+            "count": len(ordered),
+            "mean": self._total / len(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "p50": _interpolate(ordered, 0.50),
+            "p99": _interpolate(ordered, 0.99),
+            "p999": _interpolate(ordered, 0.999),
+        }
+
     def cdf(self, points: int = 100) -> List[Tuple[float, float]]:
         """Return (latency, cumulative_fraction) pairs for CDF plots.
 
@@ -78,7 +124,7 @@ class LatencyDistribution:
         """
         if not self._samples:
             return []
-        ordered = sorted(self._samples)
+        ordered = self._ordered()
         count = len(ordered)
         out: List[Tuple[float, float]] = []
         for i in range(1, points + 1):

@@ -26,7 +26,7 @@ class TransactionPhase(enum.Enum):
     DONE = "done"
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryContext:
     """Parsed information about the statements of one round."""
 
@@ -35,7 +35,7 @@ class QueryContext:
     annotations: Dict[str, bool] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class TransactionContext:
     """Everything the coordinator tracks about one in-flight transaction."""
 

@@ -27,7 +27,7 @@ from repro.storage.dialects import Dialect, MySQLDialect
 from repro.storage.wal import WriteAheadLog
 
 
-@dataclass
+@dataclass(slots=True)
 class ParticipantHandle:
     """How the middleware reaches one data source.
 
@@ -70,6 +70,9 @@ class MiddlewareStats:
     ``metadata_bytes`` approximates the extra memory a middleware keeps
     (GeoTP's hotspot footprint reports into it).
     """
+
+    __slots__ = ("submitted", "committed", "aborted", "work_units",
+                 "metadata_bytes", "wan_messages", "aborts_by_reason")
 
     def __init__(self) -> None:
         self.submitted = 0

@@ -19,7 +19,7 @@ from repro.middleware.statements import Statement
 from repro.storage.dialects import Dialect
 
 
-@dataclass
+@dataclass(slots=True)
 class SubtransactionPlan:
     """The statements of one round destined for one data source."""
 
@@ -54,10 +54,14 @@ class Rewriter:
         """Split one round into per-data-source subtransaction plans."""
         plans: Dict[str, SubtransactionPlan] = {}
         for stmt in statements:
-            target = self.partitioner.locate(stmt.operation.table, stmt.operation.key)
-            plan = plans.setdefault(target, SubtransactionPlan(datasource=target))
+            operation = stmt.operation
+            target = self.partitioner.locate(operation.table, operation.key)
+            plan = plans.get(target)
+            if plan is None:
+                plan = plans[target] = SubtransactionPlan(datasource=target)
             plan.statements.append(stmt)
-            plan.contains_last = plan.contains_last or stmt.is_last
+            if stmt.is_last:
+                plan.contains_last = True
         return plans
 
     def participants(self, statements: List[Statement]) -> List[str]:

@@ -26,11 +26,8 @@ class Partitioner:
         if not datasource_names:
             raise ValueError("at least one data source is required")
         self.datasource_names = list(datasource_names)
-
-    @property
-    def node_count(self) -> int:
-        """Number of data sources."""
-        return len(self.datasource_names)
+        #: Number of data sources (cached: ``locate`` runs on every operation).
+        self.node_count = len(self.datasource_names)
 
     def locate(self, table: str, key: Hashable) -> str:
         """Name of the data source holding (table, key)."""

@@ -19,7 +19,7 @@ from repro.common import Operation, OpType
 _spec_ids = count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Statement:
     """One SQL statement: the parsed operation plus annotations."""
 
@@ -43,14 +43,14 @@ class Statement:
         return f"UPDATE {op.table} SET value = '{op.value}' WHERE key = '{op.key}';"
 
 
-@dataclass
+@dataclass(slots=True)
 class TransactionSpec:
     """A client transaction: rounds of statements plus bookkeeping metadata."""
 
     rounds: List[List[Statement]]
     txn_type: str = "generic"
     metadata: Dict = field(default_factory=dict)
-    spec_id: int = field(default_factory=lambda: next(_spec_ids))
+    spec_id: int = field(default_factory=_spec_ids.__next__)
 
     def __post_init__(self) -> None:
         if not self.rounds or not any(self.rounds):

@@ -3,58 +3,158 @@
 The :class:`Environment` owns the simulated clock (milliseconds, float) and a
 priority queue of scheduled events.  :meth:`Environment.run` pops events in
 time order and executes their callbacks, which resume waiting processes.
+
+Hot-path layout
+---------------
+
+The event queue holds ``(time, priority, sequence, entry)`` tuples where
+``entry`` is either an :class:`~repro.sim.events.Event` or a lightweight
+:class:`Timer` created by :meth:`Environment.call_at`.  The ``sequence``
+counter is a plain int (bumped in-line by the event classes as well, see
+:mod:`repro.sim.events`) so that same-time entries keep FIFO order without the
+cost of an :func:`itertools.count` call per schedule.
+
+Cancellation is lazy: :meth:`cancel` (and :meth:`Timer.cancel`) only mark the
+entry dead; dead entries are dropped when they reach the top of the heap, and
+the whole heap is compacted once dead entries outnumber live ones.  This keeps
+the queue from growing with, e.g., lock-wait timers that were granted long
+before their timeout (see :class:`repro.storage.lock_manager.LockManager`).
 """
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
-from typing import Any, Generator, List, Optional, Tuple
+from functools import partial
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Generator, List, Optional, Tuple
 
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import PENDING, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 
 #: Scheduling priorities: interrupts preempt normal events at the same time.
 PRIORITY_URGENT = 0
 PRIORITY_NORMAL = 1
 
+#: Compact the heap when at least this many cancelled entries are buried in it
+#: (and they outnumber the live ones); small queues are never worth compacting.
+_COMPACT_MIN_CANCELLED = 64
+
 
 class EmptySchedule(Exception):
     """Raised internally when the event queue runs dry."""
+
+
+class Timer:
+    """A lightweight scheduled callback (no :class:`Event` allocated).
+
+    Produced by :meth:`Environment.call_at` for fire-and-forget work such as
+    network message delivery and lock-wait timeouts.  ``cancel()`` defuses the
+    timer in O(1); the heap entry is reclaimed lazily.
+    """
+
+    __slots__ = ("fn", "env")
+
+    #: Class-level marker: the dispatch loop recognises a Timer (or a
+    #: cancelled Event) by ``callbacks is None`` and then consults ``fn``.
+    callbacks = None
+
+    def __init__(self, fn: Callable[[], None], env: "Environment"):
+        self.fn = fn
+        self.env = env
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the timer has been cancelled (or has fired)."""
+        return self.fn is None
+
+    def cancel(self) -> None:
+        """Defuse the timer: its callback will never run."""
+        if self.fn is not None:
+            self.fn = None
+            self.env._note_cancelled()
 
 
 class Environment:
     """A discrete-event simulation environment with a millisecond clock."""
 
     def __init__(self, initial_time: float = 0.0):
-        self._now: float = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
-        self._eid = count()
-        self._active_process: Optional[Process] = None
-
-    # ------------------------------------------------------------------ time
-    @property
-    def now(self) -> float:
-        """Current simulated time in milliseconds."""
-        return self._now
-
-    @property
-    def active_process(self) -> Optional[Process]:
-        """The process currently being resumed, if any."""
-        return self._active_process
+        #: Current simulated time in milliseconds (read-only for models).
+        self.now: float = float(initial_time)
+        #: The process currently being resumed, if any.
+        self.active_process: Optional[Process] = None
+        #: Number of queue entries dispatched so far (events + timers).
+        self.events_processed: int = 0
+        self._queue: List[Tuple[float, int, int, Any]] = []
+        self._eid = 0
+        self._cancelled = 0
+        # C-level factory bindings shadow the methods below: ``timeout``/
+        # ``event``/``process`` are called tens of thousands of times per
+        # simulated second, and partial() skips one Python frame per call.
+        self.event = partial(Event, self)
+        self.timeout = partial(Timeout, self)
+        self.process = partial(Process, self)
 
     # ------------------------------------------------------------- scheduling
     def schedule(self, event: Event, delay: float = 0.0,
                  priority: int = PRIORITY_NORMAL) -> None:
         """Enqueue ``event`` to be processed ``delay`` ms from now."""
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event))
+        self._eid = eid = self._eid + 1
+        heappush(self._queue, (self.now + delay, priority, eid, event))
+
+    def call_at(self, delay: float, fn: Callable[[], None]) -> Timer:
+        """Run ``fn()`` ``delay`` ms from now; returns a cancellable handle.
+
+        This is the cheap alternative to ``timeout(delay).callbacks.append``
+        for internal bookkeeping that no process ever waits on.  Scheduling
+        order is identical to an equivalently-timed :class:`Timeout`.
+        """
+        timer = Timer(fn, self)
+        self._eid = eid = self._eid + 1
+        heappush(self._queue, (self.now + delay, PRIORITY_NORMAL, eid, timer))
+        return timer
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a triggered-but-unprocessed event: its callbacks never run.
+
+        Only use this on events whose callbacks you own (e.g. an internal
+        timer); waiters subscribed to the event would never be resumed.
+        """
+        if event.callbacks is not None:
+            event.callbacks = None
+            self._note_cancelled()
+
+    def _note_cancelled(self) -> None:
+        self._cancelled = cancelled = self._cancelled + 1
+        if (cancelled >= _COMPACT_MIN_CANCELLED
+                and cancelled * 2 > len(self._queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop dead entries from the heap and re-heapify the survivors.
+
+        The queue list is mutated IN PLACE: the dispatch loop in :meth:`run`
+        (and event-triggering code in :mod:`repro.sim.events`) holds direct
+        references to the list object, so rebinding ``self._queue`` here would
+        silently split the simulation across two queues.
+        """
+        queue = self._queue
+        queue[:] = [entry for entry in queue
+                    if entry[3].callbacks is not None
+                    or entry[3].fn is not None]
+        heapify(queue)
+        self._cancelled = 0
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        if not self._queue:
-            return float("inf")
-        return self._queue[0][0]
+        """Time of the next live scheduled entry, or ``inf`` if none."""
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            entry = head[3]
+            if entry.callbacks is not None or entry.fn is not None:
+                return head[0]
+            heappop(queue)
+            if self._cancelled:
+                self._cancelled -= 1
+        return float("inf")
 
     # ------------------------------------------------------------- factories
     def event(self) -> Event:
@@ -65,9 +165,15 @@ class Environment:
         """Create an event that fires ``delay`` ms from now."""
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator, name: str = "") -> Process:
-        """Start a new process driving ``generator``."""
-        return Process(self, generator, name=name)
+    def process(self, generator: Generator, name: str = "",
+                daemon: bool = False) -> Process:
+        """Start a new process driving ``generator``.
+
+        ``daemon=True`` marks a fire-and-forget process (e.g. a per-message
+        server handler): if it finishes successfully with no one subscribed,
+        its completion event is not scheduled at all.
+        """
+        return Process(self, generator, name=name, daemon=daemon)
 
     def all_of(self, events) -> AllOf:
         """Event that fires when all of ``events`` have succeeded."""
@@ -79,23 +185,35 @@ class Environment:
 
     # -------------------------------------------------------------- execution
     def step(self) -> None:
-        """Process the next scheduled event."""
-        try:
-            when, _priority, _eid, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
-        self._now = when
-
-        callbacks = event.callbacks
+        """Process the next scheduled entry (skipping cancelled ones)."""
+        queue = self._queue
+        while True:
+            try:
+                when, _priority, _eid, event = heappop(queue)
+            except IndexError:
+                raise EmptySchedule() from None
+            callbacks = event.callbacks
+            if callbacks is not None:
+                break
+            fn = event.fn
+            if fn is not None:
+                # Lightweight timer: fire and return.
+                self.now = when
+                self.events_processed += 1
+                event.fn = None
+                fn()
+                return
+            if self._cancelled:
+                self._cancelled -= 1
+        self.now = when
+        self.events_processed += 1
         event.callbacks = None
-        if callbacks:
-            for callback in callbacks:
-                callback(event)
-
-        if not event.ok and not event.defused:
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
             # An event failed and nobody was prepared to handle it: surface
             # the error instead of silently dropping it.
-            raise event.value
+            raise event._value
 
     def run(self, until: Optional[float] = None) -> Any:
         """Run the simulation.
@@ -111,24 +229,56 @@ class Environment:
             stop_event = until
         elif until is not None:
             stop_time = float(until)
-            if stop_time < self._now:
+            if stop_time < self.now:
                 raise ValueError(
-                    f"until ({stop_time}) must not be in the past (now={self._now})")
+                    f"until ({stop_time}) must not be in the past (now={self.now})")
 
+        # The dispatch loop below is `peek` + `step` inlined: it runs once per
+        # simulated event, so the per-iteration call overhead matters.
+        queue = self._queue
         while True:
-            if stop_event is not None and stop_event.processed:
-                if stop_event.ok:
-                    return stop_event.value
-                raise stop_event.value
-            next_time = self.peek()
-            if next_time == float("inf"):
-                if stop_event is not None and not stop_event.triggered:
+            if stop_event is not None and stop_event.callbacks is None:
+                value = stop_event._value
+                if value is PENDING:
+                    raise RuntimeError(
+                        "until event will never fire (it was cancelled)")
+                if stop_event._ok:
+                    return value
+                raise value
+
+            while queue:
+                head = queue[0]
+                entry = head[3]
+                if entry.callbacks is not None or entry.fn is not None:
+                    break
+                heappop(queue)
+                if self._cancelled:
+                    self._cancelled -= 1
+            else:
+                if stop_event is not None and stop_event._value is PENDING:
                     raise RuntimeError(
                         "simulation ran out of events before the awaited event fired")
                 if stop_time is not None:
-                    self._now = stop_time
+                    self.now = stop_time
                 return None
-            if stop_time is not None and next_time > stop_time:
-                self._now = stop_time
+
+            when = head[0]
+            if stop_time is not None and when > stop_time:
+                self.now = stop_time
                 return None
-            self.step()
+
+            heappop(queue)
+            event = head[3]
+            self.now = when
+            self.events_processed += 1
+            callbacks = event.callbacks
+            if callbacks is not None:
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event.defused:
+                    raise event._value
+            else:
+                fn = event.fn
+                event.fn = None
+                fn()

@@ -8,10 +8,17 @@ into it).
 The composite events :class:`AllOf` and :class:`AnyOf` allow a process to wait
 for several events at once, which the middleware coordinators use to wait for
 prepare votes from many data sources.
+
+Everything here is on the simulation's hot path: the classes are slotted, and
+triggering pushes straight onto the environment's heap instead of going
+through :meth:`Environment.schedule`, so that driving millions of events stays
+cheap.  The event-queue entry layout ``(time, priority, sequence, event)`` is
+shared with :mod:`repro.sim.environment`.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -44,6 +51,12 @@ class Event:
     once, either successfully via :meth:`succeed` or with an exception via
     :meth:`fail`.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
+
+    #: Class-level marker so the dispatch loop can tell an Event apart from a
+    #: lightweight scheduled callback (see ``Environment.call_at``).
+    fn = None
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -78,53 +91,68 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env.now, 1, eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with a failure carrying ``exception``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env.now, 1, eid, self))
         return self
 
     def trigger(self, event: "Event") -> None:
         """Trigger this event with the state of another (for chaining)."""
-        if self.triggered:
+        if self._value is not PENDING:
             return
         self._ok = event._ok
         self._value = event._value
-        self.env.schedule(self)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env.now, 1, eid, self))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "processed" if self.processed else (
-            "triggered" if self.triggered else "pending")
+        state = "processed" if self.callbacks is None else (
+            "triggered" if self._value is not PENDING else "pending")
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + schedule: a Timeout is born triggered, and
+        # this constructor runs once per simulated wait.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self.defused = False
+        self.delay = delay
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env.now + delay, 1, eid, self))
 
 
 class ConditionValue:
     """Dict-like access to the values of the events a condition waited on."""
+
+    __slots__ = ("events",)
 
     def __init__(self, events: List[Event]):
         self.events = events
@@ -151,6 +179,8 @@ class ConditionValue:
 class Condition(Event):
     """Base class for composite events over a list of child events."""
 
+    __slots__ = ("_events", "_count")
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         self._events = list(events)
@@ -165,7 +195,7 @@ class Condition(Event):
             return
 
         for event in self._events:
-            if event.processed:
+            if event.callbacks is None:
                 self._check(event)
             else:
                 event.callbacks.append(self._check)
@@ -174,19 +204,22 @@ class Condition(Event):
         raise NotImplementedError
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
         self._count += 1
-        if not event.ok:
+        if not event._ok:
             event.defused = True
-            self.fail(event.value)
+            self.fail(event._value)
         elif self._satisfied(self._count, len(self._events)):
-            done = [e for e in self._events if e.triggered and e.ok]
+            done = [e for e in self._events
+                    if e._value is not PENDING and e._ok]
             self.succeed(ConditionValue(done))
 
 
 class AllOf(Condition):
     """Succeeds once *all* child events have succeeded (fails on first failure)."""
+
+    __slots__ = ()
 
     def _satisfied(self, count: int, total: int) -> bool:
         return count == total
@@ -194,6 +227,8 @@ class AllOf(Condition):
 
 class AnyOf(Condition):
     """Succeeds as soon as *any* child event succeeds."""
+
+    __slots__ = ()
 
     def _satisfied(self, count: int, total: int) -> bool:
         return count >= 1

@@ -22,14 +22,14 @@ from itertools import count
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.sim.environment import Environment
-from repro.sim.events import Event
+from repro.sim.events import PENDING, Event
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.resources import Store
 
 _message_ids = count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A network message between two named nodes."""
 
@@ -37,7 +37,7 @@ class Message:
     recipient: str
     msg_type: str
     payload: Any = None
-    message_id: int = field(default_factory=lambda: next(_message_ids))
+    message_id: int = field(default_factory=_message_ids.__next__)
     sent_at: float = 0.0
     delivered_at: float = 0.0
     #: Event to trigger on the sender's side when the recipient replies.
@@ -50,6 +50,8 @@ class Message:
 
 class NetworkStats:
     """Aggregate counters of network activity (messages and bytes proxied)."""
+
+    __slots__ = ("messages_sent", "messages_by_type", "total_delay_ms")
 
     def __init__(self) -> None:
         self.messages_sent = 0
@@ -111,22 +113,28 @@ class Network:
         """Deliver ``message`` after the one-way link delay; return the delay."""
         if message.recipient not in self._inboxes:
             raise KeyError(f"unknown network node {message.recipient!r}")
-        message.sent_at = self.env.now
+        env = self.env
+        message.sent_at = now = env.now
         if message.sender == message.recipient:
             delay = 0.0
         else:
-            model = self.link_model(message.sender, message.recipient)
-            delay = model.sample_one_way(self.env.now)
-        self.stats.record(message, delay)
+            model = self._links.get((message.sender, message.recipient),
+                                    self.default_model)
+            delay = model.sample_one_way(now)
+        # NetworkStats.record, inlined: one call per simulated message adds up.
+        stats = self.stats
+        stats.messages_sent += 1
+        by_type = stats.messages_by_type
+        by_type[message.msg_type] = by_type.get(message.msg_type, 0) + 1
+        stats.total_delay_ms += delay
 
         inbox = self._inboxes[message.recipient]
 
-        def deliver(_event: Event, msg: Message = message, box: Store = inbox) -> None:
-            msg.delivered_at = self.env.now
+        def deliver(msg: Message = message, box: Store = inbox) -> None:
+            msg.delivered_at = env.now
             box.put(msg)
 
-        trigger = self.env.timeout(delay)
-        trigger.callbacks.append(deliver)
+        env.call_at(delay, deliver)
         return delay
 
     def deliver_reply(self, original: Message, value: Any) -> None:
@@ -141,12 +149,11 @@ class Network:
 
         reply_event = original.reply_event
 
-        def fire(_event: Event) -> None:
-            if not reply_event.triggered:
+        def fire() -> None:
+            if reply_event._value is PENDING:
                 reply_event.succeed(value)
 
-        trigger = self.env.timeout(delay)
-        trigger.callbacks.append(fire)
+        self.env.call_at(delay, fire)
 
 
 class NetworkInterface:

@@ -5,13 +5,19 @@ A :class:`Process` wraps a Python generator.  Each ``yield`` hands an
 with the event's value once it fires.  A process is itself an event that
 triggers when the generator returns (its value is the generator's return
 value), so processes can wait on each other.
+
+The resume loop is the single hottest function of the whole simulator (it runs
+once per event wait), so it reads event state directly (``_ok`` / ``_value``
+/ ``callbacks``) instead of going through the public properties, and the
+generator's bound ``send``/``throw`` are cached at construction time.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Generator
 
-from repro.sim.events import Event, Interrupt
+from repro.sim.events import PENDING, Event, Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.environment import Environment
@@ -20,22 +26,38 @@ if TYPE_CHECKING:  # pragma: no cover
 class Process(Event):
     """An active simulation process driving a generator of events."""
 
-    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
-        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
-            raise TypeError(f"{generator!r} is not a generator")
+    __slots__ = ("name", "_generator", "_send", "_throw", "_target", "_daemon")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = "",
+                 daemon: bool = False):
+        try:
+            send = generator.send
+            throw = generator.throw
+        except AttributeError:
+            raise TypeError(f"{generator!r} is not a generator") from None
         super().__init__(env)
         self.name = name or getattr(generator, "__name__", "process")
+        #: Daemon processes are fire-and-forget servers: when one finishes
+        #: successfully with no subscribers, its completion event skips the
+        #: heap entirely (nobody could observe the dispatch).
+        self._daemon = daemon
         self._generator = generator
+        self._send = send
+        self._throw = throw
         self._target: Any = None
-        # Kick the process off at the current simulation time.
+        # Kick the process off at the current simulation time: an
+        # already-succeeded init event goes straight onto the heap (the heap
+        # round trip keeps startup ordered against same-time events).
         init = Event(env)
-        init.callbacks.append(self._resume)
-        init.succeed(None)
+        init._value = None
+        init.callbacks = [self._resume]
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env.now, 1, eid, init))
 
     @property
     def is_alive(self) -> bool:
         """True while the underlying generator has not finished."""
-        return not self.triggered
+        return self._value is PENDING
 
     @property
     def target(self) -> Any:
@@ -44,7 +66,7 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw an :class:`Interrupt` into the process at the current time."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError("cannot interrupt a finished process")
         if self.env.active_process is self:
             raise RuntimeError("a process cannot interrupt itself")
@@ -60,50 +82,62 @@ class Process(Event):
         env = self.env
         # Drop our subscription on the event we were waiting for: a process
         # interrupted while waiting must not be resumed again by that event.
-        if self._target is not None and self._target is not event:
-            if self._target.callbacks is not None and self._resume in self._target.callbacks:
-                self._target.callbacks.remove(self._resume)
+        target = self._target
+        if target is not None and target is not event:
+            target_callbacks = target.callbacks
+            if target_callbacks is not None and self._resume in target_callbacks:
+                target_callbacks.remove(self._resume)
         self._target = None
 
-        env._active_process = self
+        env.active_process = self
+        send = self._send
         while True:
             try:
-                if event.ok:
-                    next_event = self._generator.send(event.value)
+                if event._ok:
+                    next_event = send(event._value)
                 else:
                     event.defused = True
-                    next_event = self._generator.throw(event.value)
+                    next_event = self._throw(event._value)
             except StopIteration as stop:
-                env._active_process = None
+                env.active_process = None
                 self._ok = True
-                self._value = getattr(stop, "value", None)
-                env.schedule(self)
+                self._value = stop.value
+                if self._daemon and not self.callbacks:
+                    # Fire-and-forget completion: mark processed in place.
+                    self.callbacks = None
+                    return
+                env._eid = eid = env._eid + 1
+                heappush(env._queue, (env.now, 1, eid, self))
                 return
             except BaseException as exc:  # noqa: BLE001 - process failure propagates as event failure
-                env._active_process = None
+                env.active_process = None
                 self._ok = False
                 self._value = exc
-                env.schedule(self)
+                env._eid = eid = env._eid + 1
+                heappush(env._queue, (env.now, 1, eid, self))
                 return
 
             if not isinstance(next_event, Event):
-                env._active_process = None
+                env.active_process = None
                 error = RuntimeError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}")
                 self._ok = False
                 self._value = error
-                env.schedule(self)
+                env._eid = eid = env._eid + 1
+                heappush(env._queue, (env.now, 1, eid, self))
                 return
 
-            if next_event.processed:
-                # Already fired: loop immediately with its value.
+            callbacks = next_event.callbacks
+            if callbacks is None:
+                # Already fired: loop immediately with its value instead of
+                # round-tripping the heap.
                 event = next_event
                 continue
 
             # Subscribe and suspend.
-            next_event.callbacks.append(self._resume)
+            callbacks.append(self._resume)
             self._target = next_event
-            env._active_process = None
+            env.active_process = None
             return
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any, Deque, List, Optional
 
-from repro.sim.events import Event
+from repro.sim.events import PENDING, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.environment import Environment
@@ -29,6 +29,8 @@ class ResourceRequest(Event):
             yield req
             ...
     """
+
+    __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
@@ -47,6 +49,8 @@ class ResourceRequest(Event):
 
 class Resource:
     """A resource with ``capacity`` units granted to requesters in FIFO order."""
+
+    __slots__ = ("env", "capacity", "_users", "_waiting")
 
     def __init__(self, env: "Environment", capacity: int = 1):
         if capacity < 1:
@@ -93,7 +97,7 @@ class Resource:
     def _grant_next(self) -> None:
         while self._waiting and len(self._users) < self.capacity:
             req = self._waiting.popleft()
-            if req.triggered:
+            if req._value is not PENDING:
                 continue
             self._users.append(req)
             req.succeed(None)
@@ -102,6 +106,8 @@ class Resource:
 class StoreGet(Event):
     """Pending retrieval from a :class:`Store`."""
 
+    __slots__ = ()
+
 
 class Store:
     """An unbounded FIFO queue of items with blocking ``get``.
@@ -109,6 +115,8 @@ class Store:
     ``put`` never blocks; ``get`` returns an event that fires with the oldest
     item as soon as one is available.
     """
+
+    __slots__ = ("env", "_items", "_getters")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -127,7 +135,7 @@ class Store:
         """Append ``item``, waking the oldest waiting getter if any."""
         while self._getters:
             getter = self._getters.popleft()
-            if getter.triggered:
+            if getter._value is not PENDING:
                 continue
             getter.succeed(item)
             return

@@ -80,6 +80,8 @@ class ZipfianGenerator:
         self.item_count = item_count
         self.theta = theta
         self._rng = rng or SeededRNG(0)
+        #: pow(0.5, theta), precomputed: ``next`` consults it on every draw.
+        self._half_pow_theta = math.pow(0.5, theta)
 
         if theta == 0:
             # Degenerates to uniform; handled separately in next().
@@ -121,7 +123,7 @@ class ZipfianGenerator:
         uz = u * self._zetan
         if uz < 1.0:
             return 0
-        if uz < 1.0 + math.pow(0.5, self.theta):
+        if uz < 1.0 + self._half_pow_theta:
             return 1
         if self.theta == 1.0:
             # Inverse CDF is not closed-form at theta == 1; fall back to a

@@ -52,6 +52,9 @@ class DataSourceConfig:
 class DataSourceStats:
     """Operational counters of one data source (used for resource accounting)."""
 
+    __slots__ = ("requests_handled", "operations_executed", "commits",
+                 "aborts", "prepares", "busy_ms")
+
     def __init__(self) -> None:
         self.requests_handled = 0
         self.operations_executed = 0
@@ -80,27 +83,8 @@ class DataSource:
         self.stats = DataSourceStats()
         self.transactions: Dict[str, LocalTransaction] = {}
         self.crashed = False
-        self._process = env.process(self._serve(), name=f"datasource:{config.name}")
-
-    # ------------------------------------------------------------------ loading
-    def load_table(self, table_name: str, rows: Dict[Hashable, object]) -> None:
-        """Bulk-load committed rows into a table (setup only, no locking)."""
-        for key, value in rows.items():
-            self.engine.load(table_name, key, value)
-
-    # ------------------------------------------------------------------- server
-    def _serve(self):
-        while True:
-            message = yield self.net.receive()
-            if self.crashed and message.msg_type != protocol.MSG_RESTART:
-                # A crashed node neither executes nor replies; callers block.
-                continue
-            self.env.process(self._handle(message),
-                             name=f"{self.name}:{message.msg_type}")
-
-    def _handle(self, message: Message):
-        self.stats.requests_handled += 1
-        handler = {
+        # Verb dispatch table, built once: ``_handle`` runs per message.
+        self._handlers = {
             protocol.MSG_XA_START: self._on_xa_start,
             protocol.MSG_EXECUTE: self._on_execute,
             protocol.MSG_XA_END: self._on_xa_end,
@@ -116,11 +100,45 @@ class DataSource:
             protocol.MSG_CRASH: self._on_crash,
             protocol.MSG_RESTART: self._on_restart,
             protocol.MSG_PING: self._on_ping,
-        }.get(message.msg_type)
+        }
+        self._process = env.process(self._serve(), name=f"datasource:{config.name}")
+
+    # ------------------------------------------------------------------ loading
+    def load_table(self, table_name: str, rows: Dict[Hashable, object]) -> None:
+        """Bulk-load committed rows into a table (setup only, no locking)."""
+        self.engine.bulk_load(table_name, rows)
+
+    # ------------------------------------------------------------------- server
+    def _serve(self):
+        # Dispatch straight to the per-verb handler generator: routing through
+        # a wrapper generator would add a delegating frame to every resume of
+        # every handler, which is the hottest path in the simulator.
+        env_process = self.env.process
+        handlers = self._handlers
+        stats = self.stats
+        receive = self.net.receive
+        while True:
+            message = yield receive()
+            if self.crashed and message.msg_type != protocol.MSG_RESTART:
+                # A crashed node neither executes nor replies; callers block.
+                continue
+            stats.requests_handled += 1
+            handler = handlers.get(message.msg_type) or self._on_unknown
+            env_process(handler(message), name=message.msg_type, daemon=True)
+
+    def _on_unknown(self, message: Message):
+        if message.reply_event is not None:
+            self.net.reply(message, {"status": "error",
+                                     "error": f"unknown verb {message.msg_type}"})
+        return
+        yield  # pragma: no cover - makes this a generator like real handlers
+
+    def _handle(self, message: Message):
+        """Handle one message (kept for direct use by tests/tools)."""
+        self.stats.requests_handled += 1
+        handler = self._handlers.get(message.msg_type)
         if handler is None:
-            if message.reply_event is not None:
-                self.net.reply(message, {"status": "error",
-                                         "error": f"unknown verb {message.msg_type}"})
+            yield from self._on_unknown(message)
             return
         yield from handler(message)
 
@@ -158,8 +176,11 @@ class DataSource:
                 abort_reason=AbortReason.FAILURE))
             return
 
-        started = self.env.now
-        yield self.env.timeout(self.config.request_overhead_ms)
+        env = self.env
+        stats = self.stats
+        dialect = self.dialect
+        started = env.now
+        yield env.timeout(self.config.request_overhead_ms)
         results: List[OperationResult] = []
         per_record: Dict[Tuple[str, Hashable], float] = {}
         for operation in operations:
@@ -170,12 +191,14 @@ class DataSource:
                     xid=xid, datasource=self.name, success=False,
                     results=results, error="transaction aborted concurrently",
                     abort_reason=AbortReason.PEER_ABORT,
-                    local_execution_ms=self.env.now - started,
+                    local_execution_ms=env.now - started,
                     per_record_latency=per_record))
                 return
-            op_started = self.env.now
-            mode = LockMode.EXCLUSIVE if operation.is_write else LockMode.SHARED
-            lock_event = self.lock_manager.acquire(xid, operation.record_id(), mode)
+            op_started = env.now
+            is_write = operation.op_type is not OpType.READ
+            record_id = (operation.table, operation.key)
+            mode = LockMode.EXCLUSIVE if is_write else LockMode.SHARED
+            lock_event = self.lock_manager.acquire(xid, record_id, mode)
             try:
                 yield lock_event
             except (LockTimeoutError, DeadlockError) as exc:
@@ -186,32 +209,30 @@ class DataSource:
                 self._reply(message, SubtxnResult(
                     xid=xid, datasource=self.name, success=False,
                     results=results, error=str(exc), abort_reason=reason,
-                    local_execution_ms=self.env.now - started,
+                    local_execution_ms=env.now - started,
                     per_record_latency=per_record))
                 return
             if txn.first_lock_at is None:
-                txn.first_lock_at = self.env.now
-            txn.locked_keys.add(operation.record_id())
-            txn.accessed_records.append(operation.record_id())
+                txn.first_lock_at = env.now
+            txn.locked_keys.add(record_id)
+            txn.accessed_records.append(record_id)
 
-            cost = (self.dialect.write_cost_ms if operation.is_write
-                    else self.dialect.read_cost_ms)
-            yield self.env.timeout(cost)
-            self.stats.operations_executed += 1
-            self.stats.busy_ms += cost
+            cost = dialect.write_cost_ms if is_write else dialect.read_cost_ms
+            yield env.timeout(cost)
+            stats.operations_executed += 1
+            stats.busy_ms += cost
 
-            if operation.op_type is OpType.READ:
+            if is_write:
+                self.engine.buffer_write(xid, operation.table, operation.key,
+                                         operation.value)
+                results.append(OperationResult(operation=operation, success=True))
+            else:
                 snapshot = self.engine.read(xid, operation.table, operation.key)
                 value = snapshot.value if snapshot is not None else None
                 results.append(OperationResult(operation=operation, success=True,
                                                value=value))
-            else:
-                self.engine.buffer_write(xid, operation.table, operation.key,
-                                         operation.value)
-                results.append(OperationResult(operation=operation, success=True))
-            per_record[operation.record_id()] = (
-                per_record.get(operation.record_id(), 0.0)
-                + (self.env.now - op_started))
+            per_record[record_id] = (
+                per_record.get(record_id, 0.0) + (env.now - op_started))
 
         prepared = False
         if payload.get("prepare_after"):

@@ -36,9 +36,12 @@ class Table:
         """Insert or overwrite the committed value of ``key``."""
         record = self._records.get(key)
         if record is None:
-            record = Record(key=key)
-            self._records[key] = record
-        record.apply_write(value, writer)
+            record = self._records[key] = Record(key=key)
+        # Record.apply_write, inlined: commits and bulk loads funnel through
+        # here, making this the storage engine's hottest statement sequence.
+        record.value = value
+        record.version += 1
+        record.last_writer = writer
         return record
 
     def keys(self) -> Iterable[Hashable]:
@@ -78,6 +81,13 @@ class StorageEngine:
         """Bulk-load a committed record (no locking, used during setup)."""
         self.create_table(table_name).put(key, value)
 
+    def bulk_load(self, table_name: str, rows: "Dict[Hashable, Any]") -> None:
+        """Load many committed rows at once (setup fast path)."""
+        table = self.create_table(table_name)
+        put = table.put
+        for key, value in rows.items():
+            put(key, value)
+
     # -------------------------------------------------------------------- reads
     def read(self, txn_id: str, table_name: str, key: Hashable) -> Optional[RecordSnapshot]:
         """Read the latest value visible to ``txn_id``.
@@ -85,16 +95,18 @@ class StorageEngine:
         A transaction sees its own buffered writes; otherwise the committed
         record value (strict 2PL guarantees no other uncommitted writer).
         """
+        table = self._tables.get(table_name)
+        record = table._records.get(key) if table is not None else None
         write_set = self._write_sets.get(txn_id)
-        if write_set and (table_name, key) in write_set:
-            buffered = write_set[(table_name, key)]
-            record = self.table(table_name).get(key)
-            version = record.version if record else 0
-            return RecordSnapshot(key=key, value=buffered, version=version)
-        record = self.table(table_name).get(key)
+        if write_set:
+            record_id = (table_name, key)
+            if record_id in write_set:
+                return RecordSnapshot(key=key, value=write_set[record_id],
+                                      version=record.version if record else 0)
         if record is None:
             return None
-        return RecordSnapshot.of(record)
+        return RecordSnapshot(key=record.key, value=record.value,
+                              version=record.version)
 
     # ------------------------------------------------------------------- writes
     def buffer_write(self, txn_id: str, table_name: str, key: Hashable, value: Any) -> None:

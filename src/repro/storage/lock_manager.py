@@ -18,8 +18,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
-from repro.sim.environment import Environment
-from repro.sim.events import Event
+from repro.sim.environment import Environment, Timer
+from repro.sim.events import PENDING, Event
 
 
 class LockMode(enum.Enum):
@@ -53,7 +53,7 @@ def _compatible(held: LockMode, requested: LockMode) -> bool:
     return held is LockMode.SHARED and requested is LockMode.SHARED
 
 
-@dataclass
+@dataclass(slots=True)
 class LockRequest:
     """A pending or granted request for one record lock."""
 
@@ -63,6 +63,9 @@ class LockRequest:
     event: Event
     requested_at: float
     granted_at: Optional[float] = None
+    #: Lock-wait timer, cancelled when the request is granted so stale
+    #: timeouts do not accumulate on the event heap.
+    timer: Optional[Timer] = None
 
     @property
     def granted(self) -> bool:
@@ -79,6 +82,9 @@ class _LockEntry:
 
 class LockStats:
     """Counters describing lock manager activity."""
+
+    __slots__ = ("acquisitions", "waits", "timeouts", "deadlocks",
+                 "total_wait_ms")
 
     def __init__(self) -> None:
         self.acquisitions = 0
@@ -107,6 +113,10 @@ class LockManager:
         # so it must not depend on the per-process string hash seed — a plain
         # set here made whole simulations diverge between processes.
         self._held_by_txn: Dict[str, Dict[Hashable, None]] = {}
+        # Still-waiting requests per transaction, so release_all can withdraw
+        # them in O(pending) instead of scanning every lock entry in the
+        # system (which made each commit O(total locks)).
+        self._pending_by_txn: Dict[str, List[LockRequest]] = {}
         self.stats = LockStats()
 
     # -------------------------------------------------------------- inspection
@@ -159,19 +169,20 @@ class LockManager:
                 request.event.fail(DeadlockError(txn_id, victim_cycle))
                 return request.event
 
-        def expire(_timeout_event: Event, req: LockRequest = request,
-                   ent: _LockEntry = entry) -> None:
-            if req.granted or req.event.triggered:
+        self._pending_by_txn.setdefault(txn_id, []).append(request)
+
+        def expire(req: LockRequest = request, ent: _LockEntry = entry) -> None:
+            if req.granted_at is not None or req.event._value is not PENDING:
                 return
             if req in ent.queue:
                 ent.queue.remove(req)
+            self._discard_pending(req)
             self.stats.timeouts += 1
             waited = self.env.now - req.requested_at
             req.event.fail(LockTimeoutError(req.txn_id, req.key, waited))
 
         if timeout_ms != float("inf"):
-            timer = self.env.timeout(timeout_ms)
-            timer.callbacks.append(expire)
+            request.timer = self.env.call_at(timeout_ms, expire)
         return request.event
 
     def _can_grant(self, entry: _LockEntry, request: LockRequest) -> bool:
@@ -188,6 +199,17 @@ class LockManager:
             return False  # someone is already waiting; keep FIFO order
         return all(_compatible(held, request.mode) for held in holders.values())
 
+    def _discard_pending(self, request: LockRequest) -> None:
+        """Drop ``request`` from the per-txn pending index (if present)."""
+        pending = self._pending_by_txn.get(request.txn_id)
+        if pending is not None:
+            try:
+                pending.remove(request)
+            except ValueError:
+                return
+            if not pending:
+                del self._pending_by_txn[request.txn_id]
+
     def _grant(self, entry: _LockEntry, request: LockRequest) -> None:
         previous = entry.holders.get(request.txn_id)
         if previous is LockMode.EXCLUSIVE:
@@ -197,6 +219,14 @@ class LockManager:
         entry.holders[request.txn_id] = effective
         self._held_by_txn.setdefault(request.txn_id, {})[request.key] = None
         request.granted_at = self.env.now
+        timer = request.timer
+        if timer is not None:
+            # Defuse the lock-wait timeout: granted-after-wait requests must
+            # not leave stale timers bloating the event heap.
+            timer.cancel()
+            request.timer = None
+        if self._pending_by_txn:
+            self._discard_pending(request)
         waited = request.granted_at - request.requested_at
         self.stats.acquisitions += 1
         self.stats.total_wait_ms += waited
@@ -207,20 +237,38 @@ class LockManager:
         """Release every lock held by ``txn_id`` and grant eligible waiters.
 
         Locks are handed off in acquisition order, which keeps simultaneous
-        grant decisions deterministic across processes.
+        grant decisions deterministic across processes.  The whole release is
+        O(held + pending) — the per-txn pending index replaces the old scan
+        over every lock entry in the system, which made each commit O(total
+        locks) and whole runs quadratic.
         """
-        keys = self._held_by_txn.pop(txn_id, {})
-        for key in keys:
-            entry = self._locks.get(key)
-            if entry is None:
-                continue
-            entry.holders.pop(txn_id, None)
-            self._grant_waiters(entry)
-            if not entry.holders and not entry.queue:
-                del self._locks[key]
-        # Also withdraw any still-pending requests of this transaction.
-        for entry in list(self._locks.values()):
-            entry.queue[:] = [req for req in entry.queue if req.txn_id != txn_id]
+        keys = self._held_by_txn.pop(txn_id, None)
+        if keys:
+            locks = self._locks
+            for key in keys:
+                entry = locks.get(key)
+                if entry is None:
+                    continue
+                entry.holders.pop(txn_id, None)
+                if entry.queue:
+                    self._grant_waiters(entry)
+                if not entry.holders and not entry.queue:
+                    del locks[key]
+        # Also withdraw any still-pending requests of this transaction.  Their
+        # lock-wait timers stay armed on purpose: a withdrawn request's wait
+        # event still fails with LockTimeoutError when the timer fires, waking
+        # whoever blocked on it — exactly as the pre-index implementation did.
+        pending = self._pending_by_txn.pop(txn_id, None)
+        if pending:
+            for request in pending:
+                if request.event._value is not PENDING:
+                    continue
+                entry = self._locks.get(request.key)
+                if entry is not None:
+                    try:
+                        entry.queue.remove(request)
+                    except ValueError:
+                        pass
 
     def _grant_waiters(self, entry: _LockEntry) -> None:
         progressed = True

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 
-@dataclass
+@dataclass(slots=True)
 class Record:
     """A single versioned record.
 
@@ -31,7 +31,7 @@ class Record:
                       last_writer=self.last_writer)
 
 
-@dataclass
+@dataclass(slots=True)
 class RecordSnapshot:
     """Immutable view of a record returned by reads."""
 

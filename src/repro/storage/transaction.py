@@ -47,7 +47,7 @@ _ALLOWED = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class LocalTransaction:
     """State of one subtransaction executing on a data source."""
 

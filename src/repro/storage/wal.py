@@ -21,7 +21,7 @@ class LogRecordType(enum.Enum):
     ABORT = "abort"
 
 
-@dataclass
+@dataclass(slots=True)
 class WALRecord:
     """One persisted log entry."""
 

@@ -1,0 +1,132 @@
+"""Golden-output determinism tests for the simulation engine.
+
+These snapshots were captured from the *unoptimized* engine (before the
+slotted-event/fast-path work) and pin the exact ``ExperimentSummary`` a fixed
+seed must produce: throughput, latency percentiles, abort counts and a SHA-256
+digest over the full latency sample list.  Any engine refactor that changes
+event ordering — however subtly — shifts at least one latency sample and trips
+the digest, so optimizations cannot silently change simulation results.
+
+If a *deliberate* semantic change lands (new protocol behaviour, different
+default config), re-capture the snapshot with::
+
+    PYTHONPATH=src python -m pytest tests/bench/test_golden_summary.py --no-header -q
+
+after updating the constants below from the failure output — and say so in the
+commit message.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.bench.runner import ExperimentConfig, run_experiment
+from repro.bench.scenarios import get_scenario
+from repro.workloads.ycsb import YCSBConfig
+
+
+def _snapshot(config: ExperimentConfig) -> dict:
+    result = run_experiment(config)
+    latency = result.latency
+    samples = list(latency.samples)
+    return {
+        "throughput_tps": result.throughput_tps,
+        "committed": result.committed,
+        "aborted": result.aborted,
+        "average_latency_ms": result.average_latency_ms,
+        "p50": latency.p50 if len(latency) else None,
+        "p99": latency.p99 if len(latency) else None,
+        "abort_rate": result.abort_rate,
+        "abort_reasons": result.collector.abort_reasons(),
+        "n_samples": len(samples),
+        "latency_sha256": hashlib.sha256(repr(samples).encode()).hexdigest(),
+    }
+
+
+#: Exact summaries of the registered ``smoke`` scenario (seed 0), per system.
+GOLDEN_SMOKE = {
+    "ssp": {
+        "throughput_tps": 17.0,
+        "committed": 34,
+        "aborted": 0,
+        "average_latency_ms": 231.03529411764714,
+        "p50": 150.60000000000014,
+        "p99": 759.0,
+        "abort_rate": 0.0,
+        "abort_reasons": {},
+        "n_samples": 34,
+        "latency_sha256":
+            "b366dc8c4bf21fe5e92d7e9769378d8b77f7216ebd84a426ba55ce2f7d52cc43",
+    },
+    "geotp": {
+        "throughput_tps": 18.5,
+        "committed": 37,
+        "aborted": 0,
+        "average_latency_ms": 205.33802056726134,
+        "p50": 152.19999999999982,
+        "p99": 540.8835520000001,
+        "abort_rate": 0.0,
+        "abort_reasons": {},
+        "n_samples": 37,
+        "latency_sha256":
+            "be467fee84eae3fdaa08fda32dcbb3159e350c9d244af09a59358438226f9aad",
+    },
+}
+
+#: Exact summary of a high-contention run (seed 7) that exercises lock waits,
+#: lock-wait timeouts, admission aborts and the release/withdraw paths.
+GOLDEN_CONTENDED = {
+    "throughput_tps": 1.875,
+    "committed": 15,
+    "aborted": 17,
+    "average_latency_ms": 3927.064053333334,
+    "p50": 5073.8,
+    "p99": 5488.048,
+    "abort_rate": 0.53125,
+    "abort_reasons": {"lock_timeout": 11, "admission_blocked": 6},
+    "n_samples": 15,
+    "latency_sha256":
+        "af16b7148681cdaef3b0e658122f414121015d0464d126fdc612b6a06b42af10",
+}
+
+
+#: Exact summary of a medium-scale run (32 terminals, 10 s) — large enough to
+#: trigger heap compaction and lock-timer churn, which the two snapshots above
+#: are too small to reach (a stale-queue compaction bug once stalled exactly
+#: this class of run while the small snapshots stayed green).
+GOLDEN_SCALE = {
+    "throughput_tps": 125.33333333333333,
+    "committed": 1128,
+    "aborted": 5,
+    "average_latency_ms": 239.41741446690526,
+    "p50": 151.4000000000001,
+    "p99": 1444.40779804659,
+    "abort_rate": 0.00441306266548985,
+    "abort_reasons": {"admission_blocked": 5},
+    "n_samples": 1128,
+    "latency_sha256":
+        "a60979226c947c592108393806e3432ada2abbdad717f2d242c0bd52a50a3b00",
+}
+
+
+def test_smoke_scenario_summary_is_byte_identical_to_snapshot():
+    for point in get_scenario("smoke").sweep().points():
+        system = point.params["system"]
+        assert _snapshot(point.config) == GOLDEN_SMOKE[system], (
+            f"smoke[{system}] diverged from the golden snapshot")
+
+
+def test_contended_run_summary_is_byte_identical_to_snapshot():
+    config = ExperimentConfig(
+        system="geotp", terminals=24, duration_ms=9_000.0, warmup_ms=1_000.0,
+        ycsb=YCSBConfig(skew=1.1, distributed_ratio=0.5,
+                        records_per_node=100, preload_rows_per_node=100),
+        seed=7)
+    assert _snapshot(config) == GOLDEN_CONTENDED
+
+
+def test_medium_scale_run_summary_is_byte_identical_to_snapshot():
+    config = ExperimentConfig(
+        system="geotp", terminals=32, duration_ms=10_000.0, warmup_ms=1_000.0,
+        ycsb=YCSBConfig(skew=0.9, distributed_ratio=0.2))
+    assert _snapshot(config) == GOLDEN_SCALE

@@ -1,0 +1,118 @@
+"""Tests for the perf-regression harness (``python -m repro.bench perf``)."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.bench.perf import (
+    PerfMetrics,
+    build_document,
+    compare_to_baseline,
+    measure_scenario,
+    peak_rss_bytes,
+)
+
+#: Overrides that shrink the smoke scenario to unit-test scale.
+TINY = dict(duration_ms=800.0, warmup_ms=100.0, terminals=2)
+
+
+def test_measure_scenario_reports_sane_metrics():
+    metrics = measure_scenario("smoke", repeats=2, **TINY)
+    assert metrics.scenario == "smoke"
+    assert metrics.points == 2
+    assert metrics.repeats == 2
+    assert len(metrics.all_wall_clocks_s) == 2
+    assert metrics.wall_clock_s == min(metrics.all_wall_clocks_s) > 0
+    assert metrics.events_processed > 0
+    assert metrics.events_per_sec > 0
+    assert metrics.peak_rss_bytes > 0
+    doc = metrics.to_dict()
+    assert doc["scenario"] == "smoke" and doc["points"] == 2
+
+
+def test_measure_scenario_rejects_bad_repeats():
+    with pytest.raises(ValueError):
+        measure_scenario("smoke", repeats=0)
+
+
+def _metric(scenario, wall):
+    return PerfMetrics(scenario=scenario, points=1, repeats=1, wall_clock_s=wall,
+                       all_wall_clocks_s=[wall], events_per_sec=1.0,
+                       committed_per_sec=1.0, events_processed=1, committed=1,
+                       peak_rss_bytes=peak_rss_bytes())
+
+
+def test_compare_to_baseline_flags_only_regressions_beyond_threshold():
+    baseline = {"metrics": [{"scenario": "a", "wall_clock_s": 1.0},
+                            {"scenario": "b", "wall_clock_s": 1.0}]}
+    current = [_metric("a", 1.2), _metric("b", 1.5), _metric("c", 9.9)]
+    comparisons = compare_to_baseline(current, baseline, threshold=0.30)
+    by_name = {c.scenario: c for c in comparisons}
+    assert not by_name["a"].regression           # 20% slower: within threshold
+    assert by_name["b"].regression               # 50% slower: regression
+    assert by_name["c"].ratio is None            # not in baseline: ignored
+    assert not by_name["c"].regression
+
+
+def test_build_document_lists_regressions_and_reference():
+    baseline = {"metrics": [{"scenario": "a", "wall_clock_s": 1.0}]}
+    comparisons = compare_to_baseline([_metric("a", 2.0)], baseline)
+    doc = build_document("t", [_metric("a", 2.0)], comparisons,
+                         reference={"speedup_vs_pre_pr": {"a": 2.0}})
+    assert doc["regressions"] == ["a"]
+    assert doc["reference"]["speedup_vs_pre_pr"] == {"a": 2.0}
+    json.dumps(doc)  # document must be JSON-serialisable
+
+
+# --------------------------------------------------------------- CLI coverage
+def test_cli_perf_writes_document_and_exits_zero(tmp_path, capsys):
+    out = tmp_path / "BENCH_test.json"
+    code = main(["perf", "--scenarios", "smoke", "--repeats", "1",
+                 "--tag", "test", "--baseline", str(tmp_path / "missing.json"),
+                 "--output", str(out)])
+    assert code == 0
+    doc = json.loads(out.read_text())
+    assert doc["tag"] == "test"
+    assert doc["metrics"][0]["scenario"] == "smoke"
+    assert "baseline_comparison" not in doc  # no baseline file present
+
+
+def test_cli_perf_fails_on_regression_vs_baseline(tmp_path, capsys):
+    baseline = tmp_path / "BENCH_baseline.json"
+    baseline.write_text(json.dumps({
+        "metrics": [{"scenario": "smoke", "wall_clock_s": 1e-9}]}))
+    code = main(["perf", "--scenarios", "smoke", "--repeats", "1",
+                 "--baseline", str(baseline)])
+    assert code == 1
+    assert "PERF REGRESSION" in capsys.readouterr().err
+
+
+def test_cli_perf_update_baseline_round_trips(tmp_path, capsys):
+    baseline = tmp_path / "BENCH_baseline.json"
+    assert main(["perf", "--scenarios", "smoke", "--repeats", "1",
+                 "--update-baseline", "--baseline", str(baseline)]) == 0
+    assert main(["perf", "--scenarios", "smoke", "--repeats", "1",
+                 "--baseline", str(baseline)]) in (0, 1)
+    doc = json.loads(baseline.read_text())
+    assert doc["metrics"][0]["scenario"] == "smoke"
+
+
+def test_cli_perf_unknown_scenario_fails_cleanly(capsys):
+    assert main(["perf", "--scenarios", "no_such_scenario"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_cli_perf_missing_baseline_warns_and_require_flag_fails(tmp_path, capsys):
+    missing = str(tmp_path / "nope.json")
+    assert main(["perf", "--scenarios", "smoke", "--repeats", "1",
+                 "--baseline", missing, "--output",
+                 str(tmp_path / "o.json")]) == 0
+    assert "cannot load baseline" in capsys.readouterr().err
+    assert main(["perf", "--scenarios", "smoke", "--repeats", "1",
+                 "--baseline", missing, "--require-baseline", "--output",
+                 str(tmp_path / "o2.json")]) == 1
+    err = capsys.readouterr().err
+    assert "--require-baseline" in err
+    doc = json.loads((tmp_path / "o2.json").read_text())
+    assert "cannot load baseline" in doc["baseline_error"]

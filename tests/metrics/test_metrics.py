@@ -142,3 +142,54 @@ def test_resource_usage_per_commit_ratios():
     empty = ResourceUsage()
     assert empty.work_per_commit == 0.0
     assert empty.wan_messages_per_commit == 0.0
+
+
+# --------------------------------------------------------- cached sorted view
+def test_latency_distribution_cache_invalidated_on_add():
+    dist = LatencyDistribution([30, 10, 20])
+    assert dist.p50 == 20
+    assert dist.p(1.0) == 30
+    dist.add(5)
+    assert dist.p(0.0) == 5
+    assert dist.p(1.0) == 30
+    assert dist.mean == pytest.approx((30 + 10 + 20 + 5) / 4)
+
+
+def test_latency_distribution_samples_is_a_cached_readonly_view():
+    dist = LatencyDistribution([3, 1, 2])
+    view = dist.samples
+    assert isinstance(view, tuple)
+    assert view == (3, 1, 2)               # insertion order, not sorted
+    assert dist.samples is view            # cached, no per-access copy
+    dist.add(9)
+    assert dist.samples == (3, 1, 2, 9)    # invalidated by add
+
+
+def test_latency_distribution_summary_stats_matches_accessors():
+    dist = LatencyDistribution([5, 1, 4, 2, 3])
+    stats = dist.summary_stats()
+    assert stats["count"] == 5
+    assert stats["mean"] == dist.mean
+    assert stats["min"] == 1 and stats["max"] == 5
+    assert stats["p50"] == dist.p50
+    assert stats["p99"] == dist.p99
+    assert stats["p999"] == dist.p999
+    assert LatencyDistribution().summary_stats()["count"] == 0
+
+
+def test_collector_incremental_counters_match_scans():
+    collector = MetricsCollector(warmup_ms=0.0)
+    collector.record(make_result(txn_id="a", committed=True))
+    collector.record(make_result(txn_id="b", committed=False,
+                                 reason=AbortReason.LOCK_TIMEOUT))
+    collector.record(make_result(txn_id="c", committed=False,
+                                 reason=AbortReason.LOCK_TIMEOUT))
+    collector.record(make_result(txn_id="d", committed=False,
+                                 reason=AbortReason.DEADLOCK))
+    assert collector.committed_count() == 1
+    assert collector.aborted_count() == 3
+    assert collector.abort_rate() == 0.75
+    assert collector.abort_reasons() == {"lock_timeout": 2, "deadlock": 1}
+    # Filtered queries still scan and agree with the running counters.
+    assert collector.committed_count(txn_type="generic") == 1
+    assert collector.aborted_count(txn_type="generic") == 3

@@ -1,0 +1,169 @@
+"""Tests for the engine fast paths: lightweight timers, lazy cancellation,
+heap compaction and daemon processes."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.environment import EmptySchedule
+
+
+# ------------------------------------------------------------------- call_at
+def test_call_at_fires_at_the_scheduled_time():
+    env = Environment()
+    fired = []
+    env.call_at(5.0, lambda: fired.append(env.now))
+    env.call_at(2.0, lambda: fired.append(env.now))
+    env.run()
+    assert fired == [2.0, 5.0]
+
+
+def test_call_at_orders_like_an_equally_timed_timeout():
+    env = Environment()
+    order = []
+
+    def waiter():
+        yield env.timeout(3.0)
+        order.append("timeout")
+
+    env.process(waiter())
+    env.call_at(3.0, lambda: order.append("timer"))
+    env.run()
+    # The timer entered the queue before the process body ran and created its
+    # timeout, so FIFO order at equal times puts the timer first.
+    assert order == ["timer", "timeout"]
+
+
+def test_cancelled_timer_never_fires_and_clock_still_advances_past_live_events():
+    env = Environment()
+    fired = []
+    timer = env.call_at(10.0, lambda: fired.append("dead"))
+    env.call_at(20.0, lambda: fired.append("alive"))
+    timer.cancel()
+    assert timer.cancelled
+    env.run()
+    assert fired == ["alive"]
+    assert env.now == 20.0
+
+
+def test_cancel_is_idempotent():
+    env = Environment()
+    timer = env.call_at(1.0, lambda: None)
+    timer.cancel()
+    timer.cancel()
+    env.run()
+
+
+def test_cancelled_event_callbacks_do_not_run():
+    env = Environment()
+    fired = []
+    timeout = env.timeout(4.0)
+    timeout.callbacks.append(lambda e: fired.append("t"))
+    env.cancel(timeout)
+    env.run()
+    assert fired == []
+
+
+def test_heap_compaction_bounds_queue_growth():
+    env = Environment()
+    # Schedule and immediately cancel many far-future timers; lazy deletion
+    # plus compaction must keep the heap from growing linearly.
+    for _ in range(1000):
+        env.call_at(1e6, lambda: None).cancel()
+    assert len(env._queue) < 200
+
+
+def test_peek_skips_cancelled_entries():
+    env = Environment()
+    dead = env.call_at(1.0, lambda: None)
+    env.call_at(7.0, lambda: None)
+    dead.cancel()
+    assert env.peek() == 7.0
+
+
+def test_step_skips_cancelled_entries_and_raises_when_empty():
+    env = Environment()
+    dead = env.call_at(1.0, lambda: None)
+    dead.cancel()
+    with pytest.raises(EmptySchedule):
+        env.step()
+
+
+# ------------------------------------------------------------------- daemons
+def test_daemon_process_completion_skips_the_heap():
+    env = Environment()
+
+    def worker():
+        yield env.timeout(1.0)
+        return "done"
+
+    process = env.process(worker(), daemon=True)
+    env.run()
+    assert not process.is_alive
+    assert process.processed
+    assert process.value == "done"
+    assert env._queue == []
+
+
+def test_daemon_process_with_subscriber_still_resumes_it():
+    env = Environment()
+    results = []
+
+    def worker():
+        yield env.timeout(1.0)
+        return 42
+
+    def waiter(proc):
+        value = yield proc
+        results.append(value)
+
+    process = env.process(worker(), daemon=True)
+    env.process(waiter(process))
+    env.run()
+    assert results == [42]
+
+
+def test_daemon_process_failure_still_surfaces():
+    env = Environment()
+
+    def boom():
+        yield env.timeout(1.0)
+        raise RuntimeError("daemon failed")
+
+    env.process(boom(), daemon=True)
+    with pytest.raises(RuntimeError, match="daemon failed"):
+        env.run()
+
+
+def test_non_daemon_completion_is_observable_before_dispatch():
+    env = Environment()
+
+    def worker():
+        yield env.timeout(1.0)
+        return "v"
+
+    process = env.process(worker())
+    env.run()
+    assert process.processed and process.value == "v"
+
+
+# ------------------------------------------------------------ event counting
+def test_events_processed_counts_events_and_timers():
+    env = Environment()
+    fired = []
+    env.call_at(1.0, lambda: fired.append(1))
+
+    def proc():
+        yield env.timeout(2.0)
+
+    env.process(proc())
+    env.run()
+    # init event + call_at timer + timeout + process completion
+    assert env.events_processed == 4
+
+
+def test_run_until_cancelled_event_raises_instead_of_returning_sentinel():
+    env = Environment()
+    event = env.event()
+    env.cancel(event)
+    with pytest.raises(RuntimeError, match="never fire"):
+        env.run(until=event)

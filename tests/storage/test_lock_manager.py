@@ -309,3 +309,107 @@ def test_queue_length_and_waiting_transactions():
     env.run(until=10)
     assert lm.queue_length("k") == 2
     assert lm.waiting_transactions("k") == ["w1", "w2"]
+
+
+# ------------------------------------------------- timer/heap regression tests
+def test_granted_after_wait_cancels_the_lock_wait_timer():
+    env = Environment()
+    lm = LockManager(env)
+
+    def holder():
+        yield lm.acquire("t1", "k", LockMode.EXCLUSIVE)
+        yield env.timeout(10)
+        lm.release_all("t1")
+
+    timers = []
+
+    def waiter():
+        yield env.timeout(1)
+        request_event = lm.acquire("t2", "k", LockMode.EXCLUSIVE)
+        timers.append(lm._pending_by_txn["t2"][0].timer)
+        yield request_event
+
+    env.process(holder())
+    env.process(waiter())
+    env.run()
+    assert timers[0] is not None and timers[0].cancelled
+    assert lm._pending_by_txn == {}
+
+
+def test_event_heap_does_not_grow_with_granted_after_wait_requests():
+    env = Environment()
+    lm = LockManager(env)
+
+    def cycle(round_index):
+        # A holds the lock briefly; B waits and is granted, then releases.
+        yield lm.acquire(f"a{round_index}", "k", LockMode.EXCLUSIVE)
+        grant = lm.acquire(f"b{round_index}", "k", LockMode.EXCLUSIVE)
+        yield env.timeout(1)
+        lm.release_all(f"a{round_index}")
+        yield grant
+        lm.release_all(f"b{round_index}")
+
+    def driver():
+        for i in range(300):
+            yield from cycle(i)
+
+    env.process(driver())
+    env.run()
+    # Every cycle arms one 5000 ms lock-wait timer that is granted after ~1 ms.
+    # Before the cancel-on-grant fix the heap kept all 300 stale timers; with
+    # lazy cancellation plus compaction it stays bounded.
+    assert len(env._queue) < 100
+    assert lm._pending_by_txn == {}
+
+
+def test_withdrawn_pending_request_still_times_out_like_before():
+    """release_all withdraws a pending request but leaves its timer armed:
+    the wait event must still fail with LockTimeoutError when the timer fires
+    (the pre-index implementation behaved this way and callers rely on being
+    woken up)."""
+    env = Environment()
+    lm = LockManager(env, lock_wait_timeout_ms=50)
+    failures = []
+
+    def holder():
+        yield lm.acquire("t1", "k1", LockMode.EXCLUSIVE)
+        yield lm.acquire("t1", "k2", LockMode.EXCLUSIVE)
+        yield env.timeout(10)
+        # t1 aborts for unrelated reasons while t2 is still waiting on k1.
+        lm.release_all("t2")   # withdraws t2's pending request on k1
+        lm.release_all("t1")
+
+    def blocked():
+        yield env.timeout(1)
+        try:
+            yield lm.acquire("t2", "k1", LockMode.EXCLUSIVE)
+        except LockTimeoutError as exc:
+            failures.append((env.now, exc.txn_id))
+
+    env.process(holder())
+    env.process(blocked())
+    env.run()
+    assert failures == [(51.0, "t2")]
+    assert lm.stats.timeouts == 1
+
+
+def test_release_all_is_scoped_to_the_releasing_transaction():
+    env = Environment()
+    lm = LockManager(env)
+    granted = []
+
+    def holder():
+        yield lm.acquire("t1", "k", LockMode.EXCLUSIVE)
+        yield env.timeout(5)
+        lm.release_all("t1")
+
+    def waiter(txn):
+        yield env.timeout(1)
+        yield lm.acquire(txn, "k", LockMode.SHARED)
+        granted.append((env.now, txn))
+
+    env.process(holder())
+    env.process(waiter("t2"))
+    env.process(waiter("t3"))
+    env.run()
+    assert granted == [(5.0, "t2"), (5.0, "t3")]
