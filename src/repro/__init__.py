@@ -10,7 +10,12 @@ in Database Middlewares* (ICDE 2025).  The public API is small:
 * :class:`YCSBConfig` / :class:`TPCCConfig` — workload knobs;
 * :class:`GeoTPConfig` — the O1/O2/O3 switches of GeoTP itself;
 * :func:`build_cluster` — lower-level access to a wired simulated cluster for
-  users who want to drive transactions themselves.
+  users who want to drive transactions themselves;
+* :func:`register_system` / :func:`register_workload` — the plugin registries
+  behind both axes: systems and workloads are self-registering modules (see
+  ``repro.plugins`` and ``repro.contrib``), discoverable via
+  :func:`system_names` / :func:`workload_names` and
+  ``python -m repro.bench list --systems/--workloads``.
 
 See README.md for a quickstart and DESIGN.md for the system inventory.
 """
@@ -22,7 +27,7 @@ from repro.bench.runner import (
     run_experiment,
 )
 from repro.baselines.scalardb import ScalarDBConfig
-from repro.cluster.deployment import Cluster, SUPPORTED_SYSTEMS, build_cluster
+from repro.cluster.deployment import Cluster, build_cluster
 from repro.cluster.topology import DataNodeSpec, MiddlewareSpec, TopologyConfig
 from repro.common import (
     AbortReason,
@@ -33,10 +38,31 @@ from repro.common import (
 )
 from repro.core.config import GeoTPConfig
 from repro.middleware.statements import Statement, TransactionSpec
+from repro.plugins import (
+    SystemPlugin,
+    WorkloadPlugin,
+    get_system_plugin,
+    get_workload_plugin,
+    normalize_system,
+    normalize_workload,
+    register_system,
+    register_workload,
+    system_names,
+    workload_names,
+)
 from repro.workloads.tpcc import TPCCConfig
 from repro.workloads.ycsb import CONTENTION_SKEW, YCSBConfig
 
 __version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    # Lazy so the constant always reflects the live system registry (plugins
+    # may register after import) and `import repro` stays cheap.
+    if name == "SUPPORTED_SYSTEMS":
+        from repro.cluster import deployment
+        return deployment.SUPPORTED_SYSTEMS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "AbortReason",
@@ -53,13 +79,23 @@ __all__ = [
     "SUPPORTED_SYSTEMS",
     "ScalarDBConfig",
     "Statement",
+    "SystemPlugin",
     "TPCCConfig",
     "TopologyConfig",
     "TransactionResult",
     "TransactionSpec",
     "TxnOutcome",
+    "WorkloadPlugin",
     "YCSBConfig",
     "build_cluster",
+    "get_system_plugin",
+    "get_workload_plugin",
+    "normalize_system",
+    "normalize_workload",
+    "register_system",
+    "register_workload",
     "run_experiment",
+    "system_names",
+    "workload_names",
     "__version__",
 ]

@@ -26,6 +26,7 @@ from repro.middleware.context import TransactionContext, TransactionPhase
 from repro.middleware.coordinator import TwoPhaseCommitCoordinator
 from repro.middleware.rewriter import SubtransactionPlan
 from repro.middleware.statements import Statement
+from repro.plugins import BuildContext, SystemPlugin, register_system
 
 
 class ChillerCoordinator(TwoPhaseCommitCoordinator):
@@ -97,3 +98,16 @@ class ChillerCoordinator(TwoPhaseCommitCoordinator):
         ctx.enter_phase(TransactionPhase.COMMIT, self.env.now)
         yield from self._dispatch_decision(ctx, protocol.MSG_XA_COMMIT)
         return TxnOutcome.COMMITTED, None
+
+
+# ------------------------------------------------------------------- plugin
+def _build(ctx: BuildContext) -> ChillerCoordinator:
+    return ChillerCoordinator(ctx.env, ctx.network, ctx.middleware_config,
+                              ctx.participants, ctx.partitioner)
+
+
+register_system(SystemPlugin(
+    name="chiller",
+    description="Chiller contention-centric outer/inner execution ordering",
+    builder=_build,
+))

@@ -34,6 +34,7 @@ from repro.middleware.router import Partitioner
 from repro.sim.environment import Environment
 from repro.sim.network import Network
 from repro.sim.resources import Resource
+from repro.plugins import BuildContext, SystemPlugin, register_system
 
 RecordId = Tuple[str, Hashable]
 
@@ -198,3 +199,17 @@ class ScalarDBCoordinator(MiddlewareBase):
             self.send_participant(handle, protocol.MSG_KV_PUT, {
                 "table": operation.table, "key": operation.key,
                 "value": operation.value, "writer": ctx.txn_id})
+
+
+# ------------------------------------------------------------------- plugin
+def _build(ctx: BuildContext) -> ScalarDBCoordinator:
+    return ScalarDBCoordinator(ctx.env, ctx.network, ctx.middleware_config,
+                               ctx.participants, ctx.partitioner,
+                               scalardb_config=ctx.scalardb_config)
+
+
+register_system(SystemPlugin(
+    name="scalardb",
+    description="ScalarDB-style optimistic middleware transaction manager",
+    builder=_build,
+))

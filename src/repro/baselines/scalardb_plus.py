@@ -25,6 +25,7 @@ from repro.middleware.router import Partitioner
 from repro.sim.environment import Environment
 from repro.sim.network import Network
 from repro.sim.rng import SeededRNG
+from repro.plugins import BuildContext, SystemPlugin, register_system
 
 
 class ScalarDBPlusCoordinator(ScalarDBCoordinator):
@@ -116,3 +117,20 @@ class ScalarDBPlusCoordinator(ScalarDBCoordinator):
             self.footprint.update_latency(records, prepare_ms)
         self.stats.metadata_bytes = (self.footprint.memory_bytes()
                                      + self.latency_monitor.memory_bytes())
+
+
+# ------------------------------------------------------------------- plugin
+def _build(ctx: BuildContext) -> ScalarDBPlusCoordinator:
+    return ScalarDBPlusCoordinator(ctx.env, ctx.network, ctx.middleware_config,
+                                   ctx.participants, ctx.partitioner,
+                                   scalardb_config=ctx.scalardb_config,
+                                   geotp_config=ctx.geotp_config,
+                                   rng=SeededRNG(ctx.seed))
+
+
+register_system(SystemPlugin(
+    name="scalardb_plus",
+    description="ScalarDB extended with GeoTP's scheduling and admission control",
+    aliases=("scalardb+", "scalardbplus"),
+    builder=_build,
+))

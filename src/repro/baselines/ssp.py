@@ -9,9 +9,25 @@ This subclass only pins the system name used in reports.
 from __future__ import annotations
 
 from repro.middleware.coordinator import TwoPhaseCommitCoordinator
+from repro.plugins import BuildContext, SystemPlugin, register_system
 
 
 class SSPCoordinator(TwoPhaseCommitCoordinator):
     """ShardingSphere-style middleware XA coordinator."""
 
     system_name = "SSP"
+
+
+# ------------------------------------------------------------------- plugin
+def _build(ctx: BuildContext) -> SSPCoordinator:
+    return SSPCoordinator(ctx.env, ctx.network, ctx.middleware_config,
+                          ctx.participants, ctx.partitioner)
+
+
+register_system(SystemPlugin(
+    name="ssp",
+    description="ShardingSphere-style middleware XA 2PC (the paper's base system)",
+    aliases=("shardingsphere",),
+    builder=_build,
+    ablation_reference=True,
+))

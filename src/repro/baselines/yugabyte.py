@@ -23,6 +23,7 @@ from repro.common import AbortReason, TxnOutcome, Vote
 from repro import protocol
 from repro.middleware.context import TransactionContext, TransactionPhase
 from repro.middleware.coordinator import TwoPhaseCommitCoordinator
+from repro.plugins import BuildContext, SystemPlugin, register_system
 
 
 class YugabyteCoordinator(TwoPhaseCommitCoordinator):
@@ -72,3 +73,18 @@ class YugabyteCoordinator(TwoPhaseCommitCoordinator):
             return TxnOutcome.COMMITTED, None
         yield from self._dispatch_decision(ctx, protocol.MSG_XA_ROLLBACK)
         return TxnOutcome.ABORTED, AbortReason.PREPARE_FAILED
+
+
+# ------------------------------------------------------------------- plugin
+def _build(ctx: BuildContext) -> YugabyteCoordinator:
+    return YugabyteCoordinator(ctx.env, ctx.network, ctx.middleware_config,
+                               ctx.participants, ctx.partitioner)
+
+
+register_system(SystemPlugin(
+    name="yugabyte",
+    description="YugabyteDB-like kernel whose coordinator lives on a data node",
+    aliases=("yugabytedb",),
+    builder=_build,
+    colocated_with_ds0=True,
+))

@@ -1,12 +1,15 @@
 """Command-line entry point for the scenario registry.
 
-``python -m repro.bench list`` shows every registered scenario with its axes;
+``python -m repro.bench list`` shows every registered scenario with its axes
+(``list --systems`` / ``list --workloads`` print the plugin registries
+instead, including aliases and capability flags);
 ``python -m repro.bench run NAME`` expands the scenario into sweep points,
 executes them (optionally across a process pool) and emits a JSON document
 with one row per point; ``python -m repro.bench perf`` times scenarios and
 compares against the committed ``BENCH_baseline.json``.  Examples::
 
     PYTHONPATH=src python -m repro.bench list
+    PYTHONPATH=src python -m repro.bench list --systems --workloads
     PYTHONPATH=src python -m repro.bench run smoke --workers 2
     PYTHONPATH=src python -m repro.bench run fig5_overall \\
         --duration-ms 5000 --terminals 16 --workers 4 --output fig5.json
@@ -23,6 +26,7 @@ from typing import List, Optional
 from repro.bench import perf as perf_mod
 from repro.bench.parallel import SweepRunner, SweepResult
 from repro.bench.scenarios import SCENARIOS, get_scenario, scenario_names
+from repro.plugins import system_plugins, workload_plugins
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -31,7 +35,12 @@ def _build_parser() -> argparse.ArgumentParser:
         description="List and run the registered experiment scenarios.")
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("list", help="list registered scenarios")
+    lister = commands.add_parser(
+        "list", help="list registered scenarios (default), systems or workloads")
+    lister.add_argument("--systems", action="store_true",
+                        help="list the system registry (aliases + capabilities)")
+    lister.add_argument("--workloads", action="store_true",
+                        help="list the workload registry (aliases + descriptions)")
 
     run = commands.add_parser("run", help="run one scenario and emit JSON")
     run.add_argument("scenario", help="registered scenario name (see `list`)")
@@ -84,6 +93,37 @@ def _list_scenarios() -> int:
                           for axis in scenario.axes)
         print(f"{name:<{width}}  {axes:<40}  {scenario.description}")
     return 0
+
+
+def _system_capabilities(plugin) -> str:
+    flags = [flag for flag, enabled in (
+        ("agents", plugin.needs_agents),
+        ("colocated-ds0", plugin.colocated_with_ds0),
+        ("probing", plugin.supports_active_probing),
+        (f"ablations[{len(plugin.ablations)}]", bool(plugin.ablations)),
+    ) if enabled]
+    return ",".join(flags) or "-"
+
+
+def _list_registry(plugins, capabilities) -> int:
+    width = max(len(plugin.name) for plugin in plugins)
+    for plugin in plugins:
+        aliases = ",".join(plugin.aliases) or "-"
+        extra = f"  {capabilities(plugin):<24}" if capabilities else ""
+        print(f"{plugin.name:<{width}}  aliases: {aliases:<24}{extra}  "
+              f"{plugin.description}")
+    return 0
+
+
+def _run_list(args: argparse.Namespace) -> int:
+    if not args.systems and not args.workloads:
+        return _list_scenarios()
+    status = 0
+    if args.systems:
+        status |= _list_registry(system_plugins(), _system_capabilities)
+    if args.workloads:
+        status |= _list_registry(workload_plugins(), None)
+    return status
 
 
 def _result_document(result: SweepResult) -> dict:
@@ -193,7 +233,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command == "list":
-        return _list_scenarios()
+        return _run_list(args)
     if args.command == "perf":
         return _run_perf(args)
     return _run_scenario(args)

@@ -33,10 +33,22 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.bench.runner import ExperimentConfig
 from repro.cluster.topology import TopologyConfig
 from repro.core.config import GeoTPConfig
+from repro.plugins import (
+    drain_scenario_hooks,
+    get_system_plugin,
+    load_plugins,
+    normalize_system,
+    normalize_workload,
+    system_plugins,
+)
 from repro.sim.latency import DynamicLatency, RandomLatency
 from repro.sim.rng import SeededRNG
 from repro.workloads.tpcc import TPCCConfig
 from repro.workloads.ycsb import CONTENTION_SKEW, YCSBConfig
+
+# Plugins must be registered before the scenario definitions below: the
+# ablation variants and capability lookups are derived from the registry.
+load_plugins()
 
 
 # --------------------------------------------------------------------- scales
@@ -71,9 +83,15 @@ class Axis:
     path: Optional[str] = None
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "values", tuple(self.values))
-        if not self.values:
+        values = tuple(self.values)
+        if not values:
             raise ValueError(f"axis {self.name!r} needs at least one value")
+        # The system axis is canonicalized at declaration time so aliases
+        # (``ScalarDB+``) resolve identically at every entry point and sweep
+        # params always carry registry names.
+        if self.name == "system" and self.path is None:
+            values = tuple(normalize_system(value) for value in values)
+        object.__setattr__(self, "values", values)
 
 
 @dataclass(frozen=True)
@@ -178,6 +196,15 @@ class ScenarioSpec:
         for key, value in overrides.items():
             if value is None:
                 continue
+            if key == "system":
+                value = normalize_system(value)
+            elif key == "workload":
+                value = normalize_workload(value)
+                if value != normalize_workload(base.workload):
+                    # The scenario's workload_config belongs to its declared
+                    # workload; switching workloads falls back to the new
+                    # plugin's dedicated field / default config.
+                    base.workload_config = None
             set_config_param(base, key.replace("__", "."), value)
         new_axes = []
         axes = dict(axes or {})
@@ -311,17 +338,31 @@ def _apply_fig11b(config: ExperimentConfig,
     config.duration_ms = phase_ms * phases
     config.warmup_ms = phase_ms / 4
     config.timeline_bucket_ms = phase_ms / 4
-    config.active_probing = config.system == "geotp"
+    # Capability, not name comparison: any system whose plugin advertises
+    # active probing gets it when link latencies change outside the workload.
+    config.active_probing = get_system_plugin(config.system).supports_active_probing
     return config
 
 
+def _derive_ablation_builders() -> Dict[str, Tuple[str, Optional[Callable[[], GeoTPConfig]]]]:
+    """Variant name -> (system, config factory), derived from the registry.
+
+    Reference systems (``ablation_reference``) run unmodified under their own
+    name; every ``SystemPlugin.ablations`` entry contributes a
+    ``<system>_<suffix>`` variant, in registration order.
+    """
+    builders: Dict[str, Tuple[str, Optional[Callable[[], GeoTPConfig]]]] = {}
+    for plugin in system_plugins():
+        if plugin.ablation_reference:
+            builders[plugin.name] = (plugin.name, None)
+    for plugin in system_plugins():
+        for suffix, factory in plugin.ablations.items():
+            builders[f"{plugin.name}_{suffix}"] = (plugin.name, factory)
+    return builders
+
+
 #: The Figure 12 ablation variants: variant name -> (system, GeoTP config factory).
-ABLATION_BUILDERS: Dict[str, Tuple[str, Optional[Callable[[], GeoTPConfig]]]] = {
-    "ssp": ("ssp", None),
-    "geotp_o1": ("geotp", lambda: GeoTPConfig().ablation_o1()),
-    "geotp_o1_o2": ("geotp", lambda: GeoTPConfig().ablation_o1_o2()),
-    "geotp_o1_o3": ("geotp", lambda: GeoTPConfig().ablation_o1_o3()),
-}
+ABLATION_BUILDERS = _derive_ablation_builders()
 
 
 def _apply_fig12(config: ExperimentConfig,
@@ -565,3 +606,12 @@ register(ScenarioSpec(
                                  preload_rows_per_node=200)),
     axes=(Axis("system", ("ssp", "geotp")),),
 ))
+
+
+# ------------------------------------------------------------- plugin scenarios
+#: Set once the registry above is fully initialised; plugin modules loaded
+#: after this point register their scenarios immediately instead of queueing.
+SCENARIOS_READY = True
+# Scenarios contributed by plugin modules (repro.contrib, entry points) were
+# queued while this module was still importing; register them now.
+drain_scenario_hooks()

@@ -6,8 +6,19 @@ from repro.cluster.topology import (
     TopologyConfig,
     region_rtt_ms,
 )
-from repro.cluster.deployment import Cluster, SUPPORTED_SYSTEMS, build_cluster
+from repro.cluster.deployment import Cluster, build_cluster
 from repro.cluster.client import ClientTerminal, start_terminals
+from repro.plugins import get_system_plugin, normalize_system, system_names
+
+
+def __getattr__(name: str):
+    # Kept lazy (like repro.cluster.deployment.SUPPORTED_SYSTEMS itself) so
+    # all spellings of the constant reflect the live registry and importing
+    # this package does not force plugin loading.
+    if name == "SUPPORTED_SYSTEMS":
+        from repro.cluster import deployment
+        return deployment.SUPPORTED_SYSTEMS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ClientTerminal",
@@ -17,6 +28,9 @@ __all__ = [
     "SUPPORTED_SYSTEMS",
     "TopologyConfig",
     "build_cluster",
+    "get_system_plugin",
+    "normalize_system",
     "region_rtt_ms",
     "start_terminals",
+    "system_names",
 ]

@@ -1,78 +1,54 @@
 """Deployment: instantiate a full simulated cluster for one system under test.
 
-``build_cluster`` wires up the network, data sources, geo-agents (for GeoTP)
-and one middleware per :class:`~repro.cluster.topology.MiddlewareSpec`, for any
-of the supported systems:
-
-========== =====================================================================
-system      coordinator
-========== =====================================================================
-ssp         :class:`repro.baselines.SSPCoordinator` (XA 2PC)
-ssp_local   :class:`repro.baselines.SSPLocalCoordinator` (no atomicity)
-geotp       :class:`repro.core.GeoTPCoordinator` + geo-agents
-quro        :class:`repro.baselines.QUROCoordinator`
-chiller     :class:`repro.baselines.ChillerCoordinator`
-scalardb    :class:`repro.baselines.ScalarDBCoordinator`
-scalardb+   :class:`repro.baselines.ScalarDBPlusCoordinator`
-yugabyte    :class:`repro.baselines.YugabyteCoordinator` (co-located with ds0)
-========== =====================================================================
+``build_cluster`` wires up the network, data sources, geo-agents (for systems
+whose plugin declares ``needs_agents``) and one middleware per
+:class:`~repro.cluster.topology.MiddlewareSpec`.  Which systems exist, how
+their coordinators are constructed and how their links are wired is decided
+entirely by the :mod:`repro.plugins` system registry: every coordinator module
+registers a :class:`~repro.plugins.SystemPlugin` carrying its builder and
+capability flags, and this module consumes only those capabilities — it never
+compares system names.  ``python -m repro.bench list --systems`` prints the
+live registry; adding a system is one self-registering module, with no edits
+here.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
-from repro.baselines import (
-    ChillerCoordinator,
-    QUROCoordinator,
-    ScalarDBConfig,
-    ScalarDBCoordinator,
-    ScalarDBPlusCoordinator,
-    SSPCoordinator,
-    SSPLocalCoordinator,
-    YugabyteCoordinator,
-)
 from repro.cluster.topology import MiddlewareSpec, TopologyConfig
-from repro.core import GeoAgent, GeoAgentConfig, GeoTPConfig, GeoTPCoordinator
+from repro.core import GeoAgent, GeoAgentConfig, GeoTPConfig
 from repro.middleware.middleware import (
     MiddlewareBase,
     MiddlewareConfig,
     ParticipantHandle,
 )
 from repro.middleware.router import Partitioner
+from repro.plugins import (
+    BuildContext,
+    SystemPlugin,
+    get_system_plugin,
+    normalize_system,
+    system_names,
+)
 from repro.sim.environment import Environment
 from repro.sim.latency import ConstantLatency
 from repro.sim.network import Network
-from repro.sim.rng import SeededRNG
 from repro.storage.datasource import DataSource, DataSourceConfig
 from repro.storage.dialects import dialect_by_name
 
-#: Canonical system identifiers accepted by :func:`build_cluster`.
-SUPPORTED_SYSTEMS = (
-    "ssp", "ssp_local", "geotp", "quro", "chiller",
-    "scalardb", "scalardb_plus", "yugabyte",
-)
-
-#: Systems whose middleware talks to geo-agents instead of raw data sources.
-_AGENT_SYSTEMS = {"geotp"}
+if TYPE_CHECKING:  # annotation only: deployment knows no concrete system
+    from repro.baselines.scalardb import ScalarDBConfig
 
 
-def _normalize_system(system: str) -> str:
-    key = system.strip().lower().replace("-", "_").replace(" ", "_")
-    aliases = {
-        "shardingsphere": "ssp",
-        "ssp(local)": "ssp_local",
-        "ssp_(local)": "ssp_local",
-        "ssplocal": "ssp_local",
-        "scalardb+": "scalardb_plus",
-        "scalardbplus": "scalardb_plus",
-        "yugabytedb": "yugabyte",
-    }
-    key = aliases.get(key, key)
-    if key not in SUPPORTED_SYSTEMS:
-        raise ValueError(f"unknown system {system!r}; expected one of {SUPPORTED_SYSTEMS}")
-    return key
+def __getattr__(name: str):
+    # ``SUPPORTED_SYSTEMS`` is derived from the registry (in registration
+    # order) instead of being a closed tuple; computing it lazily keeps plugin
+    # loading off this module's import path.
+    if name == "SUPPORTED_SYSTEMS":
+        return tuple(system_names())
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -109,28 +85,31 @@ def build_cluster(system: str, topology: TopologyConfig, partitioner: Partitione
     The ``partitioner`` must be built over ``topology.node_names()`` (workloads
     provide one via :meth:`~repro.workloads.base.Workload.make_partitioner`).
     """
-    system = _normalize_system(system)
+    plugin = get_system_plugin(system)
+    system = plugin.name
     env = env or Environment()
     network = Network(env)
 
     datasources = _build_datasources(env, network, topology)
     agents: Dict[str, GeoAgent] = {}
-    if system in _AGENT_SYSTEMS:
+    if plugin.needs_agents:
         agents = _build_agents(env, network, topology, geotp_config)
 
     middlewares: List[MiddlewareBase] = []
     for index, dm_spec in enumerate(topology.middlewares):
-        _wire_middleware_links(network, topology, dm_spec, system, agents)
-        participants = _participant_handles(topology, system, agents)
+        _wire_middleware_links(network, topology, dm_spec, plugin, agents)
+        participants = _participant_handles(topology, agents)
         config = middleware_config or MiddlewareConfig()
         config = MiddlewareConfig(
             name=dm_spec.name, analysis_cost_ms=config.analysis_cost_ms,
             log_flush_cost_ms=config.log_flush_cost_ms,
             request_overhead_ms=config.request_overhead_ms,
             connection_pool_capacity=config.connection_pool_capacity)
-        middleware = _build_coordinator(system, env, network, config, participants,
-                                        partitioner, geotp_config, scalardb_config,
-                                        seed + index)
+        middleware = plugin.build(BuildContext(
+            env=env, network=network, middleware_config=config,
+            participants=participants, partitioner=partitioner,
+            geotp_config=geotp_config, scalardb_config=scalardb_config,
+            seed=seed + index))
         middlewares.append(middleware)
 
     return Cluster(env=env, network=network, topology=topology, system=system,
@@ -176,10 +155,10 @@ def _build_agents(env: Environment, network: Network, topology: TopologyConfig,
 
 
 def _wire_middleware_links(network: Network, topology: TopologyConfig,
-                           dm_spec: MiddlewareSpec, system: str,
+                           dm_spec: MiddlewareSpec, plugin: SystemPlugin,
                            agents: Dict[str, GeoAgent]) -> None:
     for index, node in enumerate(topology.data_nodes):
-        if system == "yugabyte":
+        if plugin.colocated_with_ds0:
             # The coordinator is co-located with the first data node; its cost
             # to reach other nodes is the inter-node (region-to-region) RTT.
             model = ConstantLatency(
@@ -193,7 +172,7 @@ def _wire_middleware_links(network: Network, topology: TopologyConfig,
             network.set_link(dm_spec.name, node.name, model)
 
 
-def _participant_handles(topology: TopologyConfig, system: str,
+def _participant_handles(topology: TopologyConfig,
                          agents: Dict[str, GeoAgent]) -> Dict[str, ParticipantHandle]:
     handles = {}
     for node in topology.data_nodes:
@@ -202,33 +181,3 @@ def _participant_handles(topology: TopologyConfig, system: str,
             name=node.name, endpoint=endpoint, dialect=dialect_by_name(node.dialect),
             datasource_node=node.name)
     return handles
-
-
-def _build_coordinator(system: str, env: Environment, network: Network,
-                       config: MiddlewareConfig,
-                       participants: Dict[str, ParticipantHandle],
-                       partitioner: Partitioner,
-                       geotp_config: Optional[GeoTPConfig],
-                       scalardb_config: Optional[ScalarDBConfig],
-                       seed: int) -> MiddlewareBase:
-    if system == "geotp":
-        return GeoTPCoordinator(env, network, config, participants, partitioner,
-                                geotp_config=geotp_config, rng=SeededRNG(seed))
-    if system == "ssp":
-        return SSPCoordinator(env, network, config, participants, partitioner)
-    if system == "ssp_local":
-        return SSPLocalCoordinator(env, network, config, participants, partitioner)
-    if system == "quro":
-        return QUROCoordinator(env, network, config, participants, partitioner)
-    if system == "chiller":
-        return ChillerCoordinator(env, network, config, participants, partitioner)
-    if system == "scalardb":
-        return ScalarDBCoordinator(env, network, config, participants, partitioner,
-                                   scalardb_config=scalardb_config)
-    if system == "scalardb_plus":
-        return ScalarDBPlusCoordinator(env, network, config, participants, partitioner,
-                                       scalardb_config=scalardb_config,
-                                       geotp_config=geotp_config, rng=SeededRNG(seed))
-    if system == "yugabyte":
-        return YugabyteCoordinator(env, network, config, participants, partitioner)
-    raise ValueError(f"unhandled system {system!r}")

@@ -1,0 +1,93 @@
+"""GeoTP(static): GeoTP with probing and forecasting frozen (contrib plugin).
+
+An ablation-style system variant that keeps GeoTP's decentralized prepare and
+latency-aware scheduling but freezes every *adaptive* input:
+
+* the network latency monitor never updates — scheduling postponements are
+  computed from the nominal topology RTTs primed at construction time;
+* active probing is disabled (``start_probing`` is a no-op, and the plugin
+  advertises ``supports_active_probing=False`` so scenario logic never turns
+  it on);
+* the local-execution-latency forecast and late-transaction admission (O3)
+  are switched off.
+
+Comparing ``geotp_static`` against ``geotp`` under fluctuating latencies
+isolates the value of GeoTP's online adaptation from the value of its static
+latency awareness.  This module is a *plugin*: registering the system and its
+scenario requires zero edits to ``repro.cluster.deployment`` or
+``repro.bench.runner`` — the variant shows up in ``python -m repro.bench list
+--systems`` purely by living in ``repro.contrib``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import GeoTPConfig
+from repro.core.geotp import GeoTPCoordinator
+from repro.plugins import (
+    BuildContext,
+    SystemPlugin,
+    register_scenario_hook,
+    register_system,
+)
+from repro.sim.rng import SeededRNG
+
+
+class GeoTPStaticCoordinator(GeoTPCoordinator):
+    """GeoTP scheduling on frozen, construction-time latency estimates."""
+
+    system_name = "GeoTP(static)"
+
+    def start_probing(self) -> None:
+        """Probing is frozen: the primed topology RTTs are never refreshed."""
+
+    def record_network_rtt(self, participant: str, rtt_ms: float) -> None:
+        """Passive RTT observations are dropped — estimates stay static."""
+
+
+def _build(ctx: BuildContext) -> GeoTPStaticCoordinator:
+    base = ctx.geotp_config or GeoTPConfig()
+    frozen = replace(base,
+                     enable_high_contention_optimization=False,
+                     enable_active_probing=False)
+    return GeoTPStaticCoordinator(ctx.env, ctx.network, ctx.middleware_config,
+                                  ctx.participants, ctx.partitioner,
+                                  geotp_config=frozen, rng=SeededRNG(ctx.seed))
+
+
+register_system(SystemPlugin(
+    name="geotp_static",
+    description="GeoTP with probing/forecasting frozen: schedules on the "
+                "nominal topology RTTs and never adapts",
+    aliases=("geotp(static)", "geotpstatic"),
+    builder=_build,
+    needs_agents=True,
+))
+
+
+def _register_scenarios() -> None:
+    # Deferred: the bench layer imports the cluster layer, which loads the
+    # plugins — importing scenarios at module level would be a cycle.
+    from repro.bench.scenarios import (
+        Axis,
+        ScenarioSpec,
+        _apply_fig11a,
+        _base,
+        register,
+    )
+
+    register(ScenarioSpec(
+        name="static_vs_adaptive",
+        description="GeoTP vs frozen-estimate GeoTP(static) under random "
+                    "latency fluctuations (contrib system variant)",
+        base=_base(),
+        axes=(Axis("system", ("geotp_static", "geotp")),
+              Axis("ratio", (0.2, 0.6)),
+              Axis("repeat", (0, 1))),
+        fixed={"max_factor": 1.5},
+        apply=_apply_fig11a,
+    ))
+
+
+register_scenario_hook(_register_scenarios)

@@ -33,6 +33,7 @@ from repro.middleware.coordinator import TwoPhaseCommitCoordinator
 from repro.middleware.middleware import MiddlewareConfig, ParticipantHandle
 from repro.middleware.rewriter import SubtransactionPlan
 from repro.middleware.router import Partitioner
+from repro.plugins import BuildContext, SystemPlugin, register_system
 from repro.sim.environment import Environment
 from repro.sim.events import Event
 from repro.sim.network import Message, Network
@@ -306,3 +307,26 @@ class GeoTPCoordinator(TwoPhaseCommitCoordinator):
         waits = [box.wait_for(name, {protocol.STATE_ROLLBACKED})
                  for name in ctx.participants]
         yield self.env.all_of(waits)
+
+
+# ------------------------------------------------------------------- plugin
+def _build(ctx: BuildContext) -> GeoTPCoordinator:
+    return GeoTPCoordinator(ctx.env, ctx.network, ctx.middleware_config,
+                            ctx.participants, ctx.partitioner,
+                            geotp_config=ctx.geotp_config,
+                            rng=SeededRNG(ctx.seed))
+
+
+register_system(SystemPlugin(
+    name="geotp",
+    description="GeoTP: decentralized prepare + latency-aware scheduling "
+                "+ high-contention optimizations (the paper's system)",
+    builder=_build,
+    needs_agents=True,
+    supports_active_probing=True,
+    ablations={
+        "o1": lambda: GeoTPConfig().ablation_o1(),
+        "o1_o2": lambda: GeoTPConfig().ablation_o1_o2(),
+        "o1_o3": lambda: GeoTPConfig().ablation_o1_o3(),
+    },
+))

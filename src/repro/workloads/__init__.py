@@ -1,5 +1,12 @@
-"""Workload generators: YCSB and TPC-C, as configured in the paper's evaluation."""
+"""Workload generators: YCSB and TPC-C (the paper's evaluation) plus plugins.
 
+Each workload module registers a :class:`~repro.plugins.WorkloadPlugin`;
+``repro.bench.runner.make_workload`` and the CLI resolve workloads through
+that registry, so contrib/third-party workloads (e.g.
+``repro.contrib.smallbank``) need no edits in this package.
+"""
+
+from repro.plugins import get_workload_plugin, normalize_workload, workload_names
 from repro.workloads.base import Workload, WorkloadConfig
 from repro.workloads.ycsb import YCSBConfig, YCSBWorkload, CONTENTION_SKEW
 from repro.workloads.tpcc import TPCCConfig, TPCCWorkload
@@ -12,4 +19,7 @@ __all__ = [
     "WorkloadConfig",
     "YCSBConfig",
     "YCSBWorkload",
+    "get_workload_plugin",
+    "normalize_workload",
+    "workload_names",
 ]

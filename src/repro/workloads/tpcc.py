@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.common import Operation, OpType
 from repro.middleware.router import WarehousePartitioner
 from repro.middleware.statements import TransactionSpec
+from repro.plugins import WorkloadPlugin, register_workload
 from repro.workloads.base import Workload, WorkloadConfig
 
 #: Standard TPC-C transaction mix.
@@ -254,3 +255,14 @@ class TPCCWorkload(Workload):
             operations.append(Operation(OpType.READ, "stock",
                                         (warehouse_id, self._item())))
         return operations, False
+
+
+# ------------------------------------------------------------------- plugin
+register_workload(WorkloadPlugin(
+    name="tpcc",
+    description="TPC-C order processing partitioned by warehouse (\u00a7VII-A2)",
+    aliases=("tpc_c",),
+    factory=TPCCWorkload,
+    config_factory=TPCCConfig,
+    config_field="tpcc",
+))

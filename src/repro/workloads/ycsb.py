@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 from repro.common import Operation, OpType
 from repro.middleware.router import ModuloPartitioner
 from repro.middleware.statements import TransactionSpec
+from repro.plugins import WorkloadPlugin, register_workload
 from repro.sim.rng import ZipfianGenerator
 from repro.workloads.base import Workload, WorkloadConfig
 
@@ -136,3 +137,14 @@ class YCSBWorkload(Workload):
             if key not in used_keys:
                 return key
         return self._partitioner.key_for_node(node_index, self._zipf.next())
+
+
+# ------------------------------------------------------------------- plugin
+register_workload(WorkloadPlugin(
+    name="ycsb",
+    description="YCSB key-value transactions with Zipfian contention and a "
+                "distributed-ratio knob (\u00a7VII-A2)",
+    factory=YCSBWorkload,
+    config_factory=YCSBConfig,
+    config_field="ycsb",
+))

@@ -15,6 +15,38 @@ def test_list_prints_every_registered_scenario(capsys):
     assert "system[2]" in out  # axes are summarised next to each name
 
 
+def test_list_systems_prints_the_registry_with_aliases_and_capabilities(capsys):
+    assert main(["list", "--systems"]) == 0
+    out = capsys.readouterr().out
+    for name in ("ssp", "quro", "chiller", "scalardb", "yugabyte", "geotp",
+                 "geotp_static"):
+        assert name in out
+    assert "scalardb+" in out          # aliases are discoverable
+    assert "agents" in out             # capability flags are discoverable
+    assert "colocated-ds0" in out
+
+
+def test_list_workloads_prints_the_registry(capsys):
+    assert main(["list", "--workloads"]) == 0
+    out = capsys.readouterr().out
+    for name in ("ycsb", "tpcc", "smallbank"):
+        assert name in out
+    assert "tpc_c" in out
+
+
+def test_list_both_registries_in_one_invocation(capsys):
+    assert main(["list", "--systems", "--workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "yugabyte" in out and "smallbank" in out
+
+
+def test_plugin_scenarios_appear_in_the_default_listing(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "smallbank_dist_ratio" in out
+    assert "static_vs_adaptive" in out
+
+
 def test_run_unknown_scenario_fails_with_message(capsys):
     assert main(["run", "nope"]) == 2
     assert "unknown scenario" in capsys.readouterr().err

@@ -90,6 +90,25 @@ GOLDEN_CONTENDED = {
 }
 
 
+#: Exact summary of the same contended configuration under SSP (seed 7): the
+#: registry refactor routes baseline wiring through plugin builders, and this
+#: pin keeps a non-GeoTP coordinator byte-identical too (the smoke pins above
+#: are too gentle to exercise SSP's lock-timeout and release paths).
+GOLDEN_CONTENDED_SSP = {
+    "throughput_tps": 1.5,
+    "committed": 12,
+    "aborted": 22,
+    "average_latency_ms": 1210.3249999999996,
+    "p50": 388.099999999999,
+    "p99": 5542.732,
+    "abort_rate": 0.6470588235294118,
+    "abort_reasons": {"lock_timeout": 22},
+    "n_samples": 12,
+    "latency_sha256":
+        "89139f3bfc760962c5e652b342db9aefaf48dc194387a7766afd9980f20c8b5a",
+}
+
+
 #: Exact summary of a medium-scale run (32 terminals, 10 s) — large enough to
 #: trigger heap compaction and lock-timer churn, which the two snapshots above
 #: are too small to reach (a stale-queue compaction bug once stalled exactly
@@ -116,13 +135,20 @@ def test_smoke_scenario_summary_is_byte_identical_to_snapshot():
             f"smoke[{system}] diverged from the golden snapshot")
 
 
-def test_contended_run_summary_is_byte_identical_to_snapshot():
-    config = ExperimentConfig(
-        system="geotp", terminals=24, duration_ms=9_000.0, warmup_ms=1_000.0,
+def _contended_config(system: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        system=system, terminals=24, duration_ms=9_000.0, warmup_ms=1_000.0,
         ycsb=YCSBConfig(skew=1.1, distributed_ratio=0.5,
                         records_per_node=100, preload_rows_per_node=100),
         seed=7)
-    assert _snapshot(config) == GOLDEN_CONTENDED
+
+
+def test_contended_run_summary_is_byte_identical_to_snapshot():
+    assert _snapshot(_contended_config("geotp")) == GOLDEN_CONTENDED
+
+
+def test_contended_ssp_run_summary_is_byte_identical_to_snapshot():
+    assert _snapshot(_contended_config("ssp")) == GOLDEN_CONTENDED_SSP
 
 
 def test_medium_scale_run_summary_is_byte_identical_to_snapshot():

@@ -65,7 +65,7 @@ def test_rtt_overrides_take_precedence():
 
 
 def test_build_cluster_for_every_supported_system():
-    from repro.cluster import SUPPORTED_SYSTEMS
+    from repro.cluster import SUPPORTED_SYSTEMS, get_system_plugin
     for system in SUPPORTED_SYSTEMS:
         topology = TopologyConfig.from_rtts([5, 30])
         partitioner = ModuloPartitioner(topology.node_names())
@@ -73,7 +73,9 @@ def test_build_cluster_for_every_supported_system():
         assert cluster.system == system
         assert set(cluster.datasources) == {"ds0", "ds1"}
         assert len(cluster.middlewares) == 1
-        if system == "geotp":
+        # Geo-agents are wired exactly when the plugin's capability asks for
+        # them — the deployment must not special-case any system name.
+        if get_system_plugin(system).needs_agents:
             assert set(cluster.agents) == {"ds0", "ds1"}
         else:
             assert cluster.agents == {}
