@@ -14,6 +14,11 @@ compares against the committed ``BENCH_baseline.json``.  Examples::
     PYTHONPATH=src python -m repro.bench run fig5_overall \\
         --duration-ms 5000 --terminals 16 --workers 4 --output fig5.json
     PYTHONPATH=src python -m repro.bench perf --quick --output BENCH_ci.json
+    PYTHONPATH=src python -m repro.bench perf --compare BENCH_a.json BENCH_b.json
+
+Measurement runs append one line each to ``BENCH_history.jsonl`` (see
+``--history`` / ``--no-history``); ``perf --compare`` diffs two BENCH
+documents without measuring anything.
 """
 
 from __future__ import annotations
@@ -77,6 +82,15 @@ def _build_parser() -> argparse.ArgumentParser:
                            "(default: 0.30 = 30%%)")
     perf.add_argument("--output", default=None,
                       help="write BENCH_<tag>.json content here instead of stdout")
+    perf.add_argument("--compare", nargs=2, metavar=("A.json", "B.json"),
+                      default=None,
+                      help="compare two BENCH documents (no measurement): "
+                           "print per-scenario wall-clock and events/sec deltas")
+    perf.add_argument("--history", default=perf_mod.DEFAULT_HISTORY,
+                      help="perf-trajectory log appended to after each "
+                           f"measurement run (default: {perf_mod.DEFAULT_HISTORY})")
+    perf.add_argument("--no-history", action="store_true",
+                      help="do not append this run to the history log")
     perf.add_argument("--update-baseline", action="store_true",
                       help="rewrite the baseline file with this run's metrics")
     perf.add_argument("--require-baseline", action="store_true",
@@ -185,7 +199,35 @@ def _run_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _compare_documents(args: argparse.Namespace) -> int:
+    path_a, path_b = args.compare
+    try:
+        doc_a = perf_mod.load_baseline(path_a)
+        doc_b = perf_mod.load_baseline(path_b)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = perf_mod.compare_documents(doc_a, doc_b)
+    print(perf_mod.format_comparison(rows, labels=("A", "B")))
+    print(f"\nA = {path_a} (tag {doc_a.get('tag', '?')}), "
+          f"B = {path_b} (tag {doc_b.get('tag', '?')}); "
+          "speedup > 1 means B is faster", file=sys.stderr)
+    return 0
+
+
 def _run_perf(args: argparse.Namespace) -> int:
+    if args.compare:
+        conflicting = [flag for flag, value in (
+            ("--scenarios", args.scenarios), ("--quick", args.quick),
+            ("--output", args.output), ("--update-baseline", args.update_baseline),
+            ("--require-baseline", args.require_baseline)) if value]
+        if conflicting:
+            # --compare measures nothing; silently ignoring measurement
+            # flags would leave e.g. an expected --output file unwritten.
+            print(f"error: --compare cannot be combined with "
+                  f"{', '.join(conflicting)}", file=sys.stderr)
+            return 2
+        return _compare_documents(args)
     if args.scenarios:
         names = args.scenarios
     elif args.quick:
@@ -203,6 +245,15 @@ def _run_perf(args: argparse.Namespace) -> int:
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
         return 2
+    if not args.no_history:
+        try:
+            perf_mod.append_history(document, path=args.history)
+        except OSError as exc:
+            # Never let a bad history path discard a finished measurement:
+            # the document (and any --output/--update-baseline write) is the
+            # valuable part, the trajectory line is best-effort.
+            print(f"warning: cannot append history to {args.history!r}: {exc}",
+                  file=sys.stderr)
     rendered = json.dumps(document, indent=2)
     if args.update_baseline:
         with open(args.baseline, "w", encoding="utf-8") as handle:

@@ -30,7 +30,7 @@ import resource
 import sys
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.parallel import SweepRunner
 from repro.bench.scenarios import get_scenario
@@ -44,6 +44,8 @@ FULL_SUITE = ("smoke", "perf_scale", "fig6_breakdown")
 DEFAULT_BASELINE = "BENCH_baseline.json"
 #: Default allowed slowdown before a run counts as a regression (30 %).
 DEFAULT_THRESHOLD = 0.30
+#: Default perf-trajectory log: one JSON line appended per ``perf`` run.
+DEFAULT_HISTORY = "BENCH_history.jsonl"
 
 
 def peak_rss_bytes() -> int:
@@ -232,3 +234,94 @@ def run_perf(scenarios: Sequence[str], repeats: int = 3, max_workers: int = 1,
     if baseline_error is not None:
         doc["baseline_error"] = baseline_error
     return doc
+
+
+# ------------------------------------------------------------------- history
+def append_history(document: Dict[str, Any],
+                   path: str = DEFAULT_HISTORY) -> Dict[str, Any]:
+    """Append one compact line for ``document`` to the perf-trajectory log.
+
+    The log is JSON Lines (one run per line) so the trajectory can be plotted
+    or diffed without parsing full BENCH documents; CI uploads it as an
+    artifact on every push.
+    """
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "tag": document.get("tag", "local"),
+        "python": document.get("python"),
+        "platform": document.get("platform"),
+        "metrics": {
+            metric["scenario"]: {
+                "wall_clock_s": metric["wall_clock_s"],
+                "events_per_sec": metric["events_per_sec"],
+                "committed_per_sec": metric["committed_per_sec"],
+            }
+            for metric in document.get("metrics", [])
+        },
+    }
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(path: str = DEFAULT_HISTORY) -> List[Dict[str, Any]]:
+    """Parse the perf-trajectory log (empty list if the file is missing)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return [json.loads(line) for line in handle if line.strip()]
+    except OSError:
+        return []
+
+
+# ------------------------------------------------------------------- compare
+def compare_documents(doc_a: Dict[str, Any],
+                      doc_b: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Per-scenario deltas between two BENCH documents (B measured vs A).
+
+    ``speedup`` is A's wall clock over B's (> 1 means B is faster); scenarios
+    present in only one document get null deltas instead of being dropped.
+    """
+    metrics_a = {m["scenario"]: m for m in doc_a.get("metrics", [])}
+    metrics_b = {m["scenario"]: m for m in doc_b.get("metrics", [])}
+    rows: List[Dict[str, Any]] = []
+    for scenario in list(metrics_a) + [name for name in metrics_b
+                                       if name not in metrics_a]:
+        a, b = metrics_a.get(scenario), metrics_b.get(scenario)
+        row: Dict[str, Any] = {
+            "scenario": scenario,
+            "wall_clock_a_s": a["wall_clock_s"] if a else None,
+            "wall_clock_b_s": b["wall_clock_s"] if b else None,
+            "events_per_sec_a": a["events_per_sec"] if a else None,
+            "events_per_sec_b": b["events_per_sec"] if b else None,
+            "speedup": None,
+            "events_per_sec_delta": None,
+        }
+        if a and b and b["wall_clock_s"]:
+            row["speedup"] = round(a["wall_clock_s"] / b["wall_clock_s"], 3)
+        if a and b and a["events_per_sec"]:
+            row["events_per_sec_delta"] = round(
+                (b["events_per_sec"] - a["events_per_sec"])
+                / a["events_per_sec"], 3)
+        rows.append(row)
+    return rows
+
+
+def format_comparison(rows: Sequence[Dict[str, Any]],
+                      labels: Tuple[str, str] = ("A", "B")) -> str:
+    """Render :func:`compare_documents` rows as an aligned text table."""
+    header = (f"{'scenario':<24} {'wall ' + labels[0]:>10} "
+              f"{'wall ' + labels[1]:>10} {'speedup':>8} "
+              f"{'ev/s ' + labels[0]:>12} {'ev/s ' + labels[1]:>12} "
+              f"{'ev/s delta':>10}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        def fmt(value, pattern):
+            return pattern.format(value) if value is not None else "-"
+        lines.append(
+            f"{row['scenario']:<24} {fmt(row['wall_clock_a_s'], '{:.4f}'):>10} "
+            f"{fmt(row['wall_clock_b_s'], '{:.4f}'):>10} "
+            f"{fmt(row['speedup'], '{:.2f}x'):>8} "
+            f"{fmt(row['events_per_sec_a'], '{:,.0f}'):>12} "
+            f"{fmt(row['events_per_sec_b'], '{:,.0f}'):>12} "
+            f"{fmt(row['events_per_sec_delta'], '{:+.1%}'):>10}")
+    return "\n".join(lines)

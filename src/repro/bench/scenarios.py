@@ -511,6 +511,16 @@ register(ScenarioSpec(
 ))
 
 register(ScenarioSpec(
+    name="fig11b_fine",
+    description="Dynamic latency with fine-grained 1 s phases over 320 s "
+                "(stresses DynamicLatency schedule lookups)",
+    base=_base(),
+    axes=(Axis("system", ("ssp", "geotp")),),
+    fixed={"phase_ms": 1_000.0, "phases": 320},
+    apply=_apply_fig11b,
+))
+
+register(ScenarioSpec(
     name="fig12_ablation",
     description="O1 / O1-O2 / O1-O3 ablation across skew factors (Fig. 12)",
     base=_base(),

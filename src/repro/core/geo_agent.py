@@ -85,23 +85,20 @@ class GeoAgent:
         self._local_xids: Dict[str, str] = {}
         #: Global transaction ids aborted by a peer before we even saw them.
         self._poisoned: Set[str] = set()
-        # Verb dispatch table, built once: ``_serve`` consults it per message.
+        # Verb dispatch table, built once: ``_dispatch`` consults it per message.
         self._handlers = {protocol.MSG_AGENT_EXECUTE: self._on_agent_execute,
                           protocol.MSG_AGENT_PREPARE: self._on_agent_prepare,
                           protocol.MSG_PEER_ROLLBACK: self._on_peer_rollback}
         for verb in _FORWARDED_VERBS:
             self._handlers[verb] = self._forward
-        self._process = env.process(self._serve(), name=f"geoagent:{config.name}")
+        # Direct-consumer inbox: see DataSource — one handler spawn per
+        # message, no server loop or get-event round trip.
+        self.net.inbox.set_consumer(self._dispatch)
 
     # ------------------------------------------------------------------ server
-    def _serve(self):
-        env_process = self.env.process
-        handlers = self._handlers
-        receive = self.net.receive
-        while True:
-            message = yield receive()
-            handler = handlers.get(message.msg_type) or self._on_unknown
-            env_process(handler(message), name=message.msg_type, daemon=True)
+    def _dispatch(self, message: Message) -> None:
+        handler = self._handlers.get(message.msg_type) or self._on_unknown
+        self.env.process(handler(message), name=message.msg_type, daemon=True)
 
     def _on_unknown(self, message: Message):
         if message.reply_event is not None:
@@ -118,7 +115,7 @@ class GeoAgent:
     def _forward(self, message: Message):
         """Transparently forward a verb to the data source and relay the reply."""
         self.stats.forwarded += 1
-        yield self.env.timeout(self.config.forward_overhead_ms)
+        yield self.config.forward_overhead_ms
         reply = yield self.net.request(self.datasource, message.msg_type, message.payload)
         if message.reply_event is not None:
             self.net.reply(message, reply)
@@ -135,7 +132,7 @@ class GeoAgent:
         self.stats.executes += 1
         self._local_xids[global_txn_id] = xid
 
-        yield self.env.timeout(self.config.forward_overhead_ms)
+        yield self.config.forward_overhead_ms
 
         if global_txn_id in self._poisoned:
             # A peer already aborted this transaction: do not waste execution.
@@ -178,7 +175,7 @@ class GeoAgent:
         coordinator = payload.get("coordinator", message.sender)
         peers = list(payload.get("peers", []))
         self._local_xids.setdefault(global_txn_id, xid)
-        yield self.env.timeout(self.config.forward_overhead_ms)
+        yield self.config.forward_overhead_ms
         if message.reply_event is not None:
             self.net.reply(message, {"status": "ok"})
         yield from self._async_prepare(global_txn_id, xid, peers, coordinator)

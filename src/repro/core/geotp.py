@@ -238,13 +238,13 @@ class GeoTPCoordinator(TwoPhaseCommitCoordinator):
                                           plan: SubtransactionPlan, delay_ms: float,
                                           is_final_round: bool):
         if delay_ms > 0:
-            yield self.env.timeout(delay_ms)
+            yield delay_ms
         handle = self.participants[plan.datasource]
         pool = self.pools.pool(plan.datasource)
         connection = pool.acquire()
         yield connection
         try:
-            yield self.env.timeout(self.config.request_overhead_ms)
+            yield self.config.request_overhead_ms
             payload = self.execute_payload(ctx, plan, is_final_round)
             self._vote_box(ctx)  # ensure the box exists before votes can arrive
             result = yield self.request_participant(

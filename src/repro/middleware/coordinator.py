@@ -64,7 +64,7 @@ class TwoPhaseCommitCoordinator(MiddlewareBase):
 
     # ------------------------------------------------------------ transaction
     def _run_transaction(self, ctx: TransactionContext):
-        yield self.env.timeout(self.config.analysis_cost_ms)
+        yield self.config.analysis_cost_ms
         self.stats.work_units += ctx.spec.statement_count
 
         admitted, admit_reason = yield from self.admit(ctx)
@@ -112,13 +112,13 @@ class TwoPhaseCommitCoordinator(MiddlewareBase):
                                 delay_ms: float, is_final_round: bool):
         """Send one statement batch to one participant and await its result."""
         if delay_ms > 0:
-            yield self.env.timeout(delay_ms)
+            yield delay_ms
         handle = self.participants[plan.datasource]
         pool = self.pools.pool(plan.datasource)
         connection = pool.acquire()
         yield connection
         try:
-            yield self.env.timeout(self.config.request_overhead_ms)
+            yield self.config.request_overhead_ms
             payload = self.execute_payload(ctx, plan, is_final_round)
             result = yield self.request_participant(handle, protocol.MSG_EXECUTE, payload)
         finally:
@@ -168,7 +168,7 @@ class TwoPhaseCommitCoordinator(MiddlewareBase):
 
     def _flush_decision_log(self, ctx: TransactionContext, commit: bool):
         """Persist the global commit/abort decision before dispatching it."""
-        yield self.env.timeout(self.config.log_flush_cost_ms)
+        yield self.config.log_flush_cost_ms
         record_type = LogRecordType.COMMIT if commit else LogRecordType.ABORT
         self.wal.append(record_type, ctx.txn_id, self.env.now,
                         payload={"participants": list(ctx.participants)})

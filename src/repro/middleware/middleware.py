@@ -115,8 +115,10 @@ class MiddlewareBase:
         self.active_contexts: Dict[str, TransactionContext] = {}
         self._txn_counter = count(1)
         self.crashed = False
-        self._dispatcher = env.process(self._dispatch_inbox(),
-                                       name=f"{self.name}:inbox")
+        # Direct-consumer inbox: asynchronous messages (decentralized prepare
+        # votes, early-abort notices) are routed at delivery dispatch instead
+        # of through a server loop's get-event round trip.
+        self.net.inbox.set_consumer(self._dispatch_message)
 
     # ----------------------------------------------------------------- intake
     def submit(self, spec: TransactionSpec) -> Process:
@@ -211,12 +213,9 @@ class MiddlewareBase:
         return self.network.rtt(self.name, handle.endpoint)
 
     # ---------------------------------------------------------------- inbox
-    def _dispatch_inbox(self):
+    def _dispatch_message(self, message: Message) -> None:
         """Route asynchronous messages (e.g. decentralized prepare votes)."""
-        while True:
-            message = yield self.net.receive()
-            if self.crashed:
-                continue
+        if not self.crashed:
             self._on_message(message)
 
     def _on_message(self, message: Message) -> None:

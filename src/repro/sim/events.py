@@ -10,10 +10,12 @@ for several events at once, which the middleware coordinators use to wait for
 prepare votes from many data sources.
 
 Everything here is on the simulation's hot path: the classes are slotted, and
-triggering pushes straight onto the environment's heap instead of going
-through :meth:`Environment.schedule`, so that driving millions of events stays
-cheap.  The event-queue entry layout ``(time, priority, sequence, event)`` is
-shared with :mod:`repro.sim.environment`.
+triggering appends straight onto the environment's same-time microqueue
+(``env._soon``) — an event always triggers *at the current simulated time*, so
+the heap (whose job is ordering *future* work) is never involved.  Only
+:class:`Timeout` still pushes onto the heap, because its firing time lies in
+the future; its entry layout ``(time, priority, sequence, event)`` is shared
+with :mod:`repro.sim.environment`.
 """
 
 from __future__ import annotations
@@ -95,9 +97,7 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        env = self.env
-        env._eid = eid = env._eid + 1
-        heappush(env._queue, (env.now, 1, eid, self))
+        self.env._soon.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -108,9 +108,7 @@ class Event:
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        env = self.env
-        env._eid = eid = env._eid + 1
-        heappush(env._queue, (env.now, 1, eid, self))
+        self.env._soon.append(self)
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -119,9 +117,7 @@ class Event:
             return
         self._ok = event._ok
         self._value = event._value
-        env = self.env
-        env._eid = eid = env._eid + 1
-        heappush(env._queue, (env.now, 1, eid, self))
+        self.env._soon.append(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "processed" if self.callbacks is None else (
@@ -145,8 +141,12 @@ class Timeout(Event):
         self._ok = True
         self.defused = False
         self.delay = delay
-        env._eid = eid = env._eid + 1
-        heappush(env._queue, (env.now + delay, 1, eid, self))
+        if delay == 0.0:
+            # Fires at the current time: same-time FIFO via the microqueue.
+            env._soon.append(self)
+        else:
+            env._eid = eid = env._eid + 1
+            heappush(env._queue, (env.now + delay, 1, eid, self))
 
 
 class ConditionValue:

@@ -12,6 +12,7 @@ the paper's presentation; one-way delay is RTT / 2.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import List, Optional, Sequence, Tuple
 
 from repro.sim.rng import SeededRNG
@@ -118,15 +119,18 @@ class DynamicLatency(LatencyModel):
             if rtt < 0:
                 raise ValueError("rtt values must be non-negative")
         self.schedule = entries
+        # Precomputed parallel arrays for bisect: rtt_at runs once per
+        # message, and a linear scan over a fine-grained schedule (e.g. the
+        # fig11b_fine scenario's 320 one-second phases) made every send
+        # O(phases).
+        self._starts: List[float] = [start for start, _ in entries]
+        self._rtts: List[float] = [rtt for _, rtt in entries]
 
     def rtt_at(self, now: float) -> float:
-        current = self.schedule[0][1]
-        for start, rtt in self.schedule:
-            if now >= start:
-                current = rtt
-            else:
-                break
-        return current
+        index = bisect_right(self._starts, now) - 1
+        # Before the first entry the first RTT applies; ties on equal start
+        # times resolve to the last entry, exactly like the old linear scan.
+        return self._rtts[index] if index >= 0 else self._rtts[0]
 
     def describe(self) -> str:
         points = ", ".join(f"{t:.0f}ms→{rtt:.0f}ms" for t, rtt in self.schedule[:4])

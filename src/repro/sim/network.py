@@ -129,13 +129,18 @@ class Network:
         stats.total_delay_ms += delay
 
         inbox = self._inboxes[message.recipient]
-
-        def deliver(msg: Message = message, box: Store = inbox) -> None:
-            msg.delivered_at = env.now
-            box.put(msg)
-
-        env.call_at(delay, deliver)
+        # Allocation-free delivery: a bound method plus args instead of a
+        # per-message closure.  Zero-delay links (self-sends and colocated
+        # nodes) skip the heap entirely via the same-time microqueue.
+        if delay == 0.0:
+            env._soon.append((self._deliver, (message, inbox)))
+        else:
+            env.call_at(delay, self._deliver, message, inbox)
         return delay
+
+    def _deliver(self, message: Message, inbox: Store) -> None:
+        message.delivered_at = self.env.now
+        inbox.put(message)
 
     def deliver_reply(self, original: Message, value: Any) -> None:
         """Send the reply for an RPC ``original`` back to its sender."""
@@ -147,13 +152,29 @@ class Network:
             model = self.link_model(original.recipient, original.sender)
             delay = model.sample_one_way(self.env.now)
 
-        reply_event = original.reply_event
+        if delay == 0.0:
+            self.env._soon.append((self._fire_reply, (original.reply_event, value)))
+        else:
+            self.env.call_at(delay, self._fire_reply, original.reply_event, value)
 
-        def fire() -> None:
-            if reply_event._value is PENDING:
-                reply_event.succeed(value)
-
-        self.env.call_at(delay, fire)
+    def _fire_reply(self, reply_event: Event, value: Any) -> None:
+        # Trigger *and* dispatch in one step: this callback already runs at
+        # the reply's delivery time, so parking the event on the microqueue
+        # for a second dispatch would only delay it within the same
+        # timestamp.  (Same-timestamp reordering; equivalence-harness
+        # territory.)
+        if reply_event._value is not PENDING:
+            return
+        reply_event._ok = True
+        reply_event._value = value
+        callbacks = reply_event.callbacks
+        if callbacks is not None:
+            # Count the merged event dispatch so events_processed keeps
+            # meaning "entries dispatched", replies included.
+            self.env.events_processed += 1
+            reply_event.callbacks = None
+            for callback in callbacks:
+                callback(reply_event)
 
 
 class NetworkInterface:

@@ -114,14 +114,23 @@ class Store:
 
     ``put`` never blocks; ``get`` returns an event that fires with the oldest
     item as soon as one is available.
+
+    A store can alternatively run in **direct-consumer** mode
+    (:meth:`set_consumer`): every ``put`` hands the item straight to a
+    callback instead of queueing it.  The server loops (``DataSource``,
+    ``GeoAgent``, the middleware inbox) use this to skip the whole
+    get-event/resume round trip — one per network message — that the
+    ``yield receive()`` pattern costs.  Consumer mode and ``get`` are
+    mutually exclusive by design.
     """
 
-    __slots__ = ("env", "_items", "_getters")
+    __slots__ = ("env", "_items", "_getters", "_consumer")
 
     def __init__(self, env: "Environment"):
         self.env = env
         self._items: Deque[Any] = deque()
         self._getters: Deque[StoreGet] = deque()
+        self._consumer: Optional[Any] = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -131,8 +140,24 @@ class Store:
         """Snapshot of the queued items (oldest first)."""
         return list(self._items)
 
+    def set_consumer(self, fn: Any) -> None:
+        """Switch to direct-consumer mode: every ``put`` calls ``fn(item)``.
+
+        Must be set before any items are queued or getters are waiting; the
+        consumer is invoked synchronously at delivery-dispatch time, which is
+        when a ``yield receive()`` loop would have been resumed anyway (minus
+        the event round trip).
+        """
+        if self._items or self._getters:
+            raise RuntimeError("set_consumer on a store that is already in use")
+        self._consumer = fn
+
     def put(self, item: Any) -> None:
         """Append ``item``, waking the oldest waiting getter if any."""
+        consumer = self._consumer
+        if consumer is not None:
+            consumer(item)
+            return
         while self._getters:
             getter = self._getters.popleft()
             if getter._value is not PENDING:
@@ -143,6 +168,11 @@ class Store:
 
     def get(self) -> StoreGet:
         """Return an event that fires with the next item."""
+        if self._consumer is not None:
+            # Puts are routed straight to the consumer; a getter's event
+            # could never fire.  Fail fast instead of deadlocking the caller.
+            raise RuntimeError("get() on a direct-consumer store would never "
+                               "complete; the two modes are mutually exclusive")
         get_event = StoreGet(self.env)
         if self._items:
             get_event.succeed(self._items.popleft())

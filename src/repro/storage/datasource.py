@@ -101,7 +101,11 @@ class DataSource:
             protocol.MSG_RESTART: self._on_restart,
             protocol.MSG_PING: self._on_ping,
         }
-        self._process = env.process(self._serve(), name=f"datasource:{config.name}")
+        # Direct-consumer inbox: every delivered message spawns its handler
+        # generator straight from the network's delivery dispatch — no server
+        # loop, no get-event, no extra resume per message.  The handler runs
+        # inline until its first yield (run-to-first-yield processes).
+        self.net.inbox.set_consumer(self._dispatch)
 
     # ------------------------------------------------------------------ loading
     def load_table(self, table_name: str, rows: Dict[Hashable, object]) -> None:
@@ -109,22 +113,16 @@ class DataSource:
         self.engine.bulk_load(table_name, rows)
 
     # ------------------------------------------------------------------- server
-    def _serve(self):
+    def _dispatch(self, message: Message) -> None:
         # Dispatch straight to the per-verb handler generator: routing through
         # a wrapper generator would add a delegating frame to every resume of
         # every handler, which is the hottest path in the simulator.
-        env_process = self.env.process
-        handlers = self._handlers
-        stats = self.stats
-        receive = self.net.receive
-        while True:
-            message = yield receive()
-            if self.crashed and message.msg_type != protocol.MSG_RESTART:
-                # A crashed node neither executes nor replies; callers block.
-                continue
-            stats.requests_handled += 1
-            handler = handlers.get(message.msg_type) or self._on_unknown
-            env_process(handler(message), name=message.msg_type, daemon=True)
+        if self.crashed and message.msg_type != protocol.MSG_RESTART:
+            # A crashed node neither executes nor replies; callers block.
+            return
+        self.stats.requests_handled += 1
+        handler = self._handlers.get(message.msg_type) or self._on_unknown
+        self.env.process(handler(message), name=message.msg_type, daemon=True)
 
     def _on_unknown(self, message: Message):
         if message.reply_event is not None:
@@ -151,7 +149,7 @@ class DataSource:
         payload = message.payload or {}
         xid = payload["xid"]
         global_txn_id = payload.get("global_txn_id", xid)
-        yield self.env.timeout(self.config.request_overhead_ms)
+        yield self.config.request_overhead_ms
         self.transactions[xid] = LocalTransaction(
             xid=xid, global_txn_id=global_txn_id, started_at=self.env.now)
         self._reply(message, {"status": "ok"})
@@ -180,7 +178,7 @@ class DataSource:
         stats = self.stats
         dialect = self.dialect
         started = env.now
-        yield env.timeout(self.config.request_overhead_ms)
+        yield self.config.request_overhead_ms
         results: List[OperationResult] = []
         per_record: Dict[Tuple[str, Hashable], float] = {}
         for operation in operations:
@@ -218,7 +216,7 @@ class DataSource:
             txn.accessed_records.append(record_id)
 
             cost = dialect.write_cost_ms if is_write else dialect.read_cost_ms
-            yield env.timeout(cost)
+            yield cost
             stats.operations_executed += 1
             stats.busy_ms += cost
 
@@ -239,7 +237,7 @@ class DataSource:
             # Execute-and-prepare merging (used by the Chiller baseline): the
             # branch is prepared before the reply so the caller's execution
             # round trip doubles as its prepare round trip.
-            yield self.env.timeout(self.dialect.prepare_cost_ms)
+            yield self.dialect.prepare_cost_ms
             self.wal.append(LogRecordType.PREPARE, xid, self.env.now,
                             payload={"writes": len(self.engine.write_set(xid))})
             txn.mark_prepared()
@@ -254,7 +252,7 @@ class DataSource:
     def _on_xa_end(self, message: Message):
         xid = (message.payload or {})["xid"]
         txn = self.transactions.get(xid)
-        yield self.env.timeout(self.config.request_overhead_ms)
+        yield self.config.request_overhead_ms
         if txn is None or txn.state is not TxnState.ACTIVE:
             self._reply(message, {"status": "error", "error": "not active"})
             return
@@ -265,12 +263,12 @@ class DataSource:
         xid = (message.payload or {})["xid"]
         txn = self.transactions.get(xid)
         if txn is None or txn.state not in (TxnState.ACTIVE, TxnState.IDLE):
-            yield self.env.timeout(self.config.request_overhead_ms)
+            yield self.config.request_overhead_ms
             self._reply(message, {"vote": Vote.NO,
                                   "error": "transaction not preparable"})
             return
         # Persist transaction state + WAL (the paper's prepare cost, Fig. 6c).
-        yield self.env.timeout(self.dialect.prepare_cost_ms)
+        yield self.dialect.prepare_cost_ms
         self.wal.append(LogRecordType.PREPARE, xid, self.env.now,
                         payload={"writes": len(self.engine.write_set(xid))})
         txn.mark_prepared()
@@ -281,15 +279,15 @@ class DataSource:
         xid = (message.payload or {})["xid"]
         txn = self.transactions.get(xid)
         if txn is None:
-            yield self.env.timeout(self.config.request_overhead_ms)
+            yield self.config.request_overhead_ms
             self._reply(message, {"status": "error", "error": "unknown xid"})
             return
         if txn.state is TxnState.COMMITTED:
             # Idempotent: recovery may re-send the decision.
-            yield self.env.timeout(self.config.request_overhead_ms)
+            yield self.config.request_overhead_ms
             self._reply(message, {"status": "ok", "already": True})
             return
-        yield self.env.timeout(self.dialect.commit_cost_ms)
+        yield self.dialect.commit_cost_ms
         self.engine.commit_writes(xid)
         self.wal.append(LogRecordType.COMMIT, xid, self.env.now)
         txn.mark_committed(self.env.now)
@@ -300,7 +298,7 @@ class DataSource:
     def _on_xa_rollback(self, message: Message):
         xid = (message.payload or {})["xid"]
         txn = self.transactions.get(xid)
-        yield self.env.timeout(self.config.request_overhead_ms)
+        yield self.config.request_overhead_ms
         if txn is None:
             self._reply(message, {"status": "ok", "already": True})
             return
@@ -318,10 +316,10 @@ class DataSource:
         xid = (message.payload or {})["xid"]
         txn = self.transactions.get(xid)
         if txn is None or txn.is_finished:
-            yield self.env.timeout(self.config.request_overhead_ms)
+            yield self.config.request_overhead_ms
             self._reply(message, {"status": "error", "error": "not committable"})
             return
-        yield self.env.timeout(self.dialect.commit_cost_ms)
+        yield self.dialect.commit_cost_ms
         self.engine.commit_writes(xid)
         self.wal.append(LogRecordType.COMMIT, xid, self.env.now)
         txn.mark_committed_one_phase(self.env.now)
@@ -332,7 +330,7 @@ class DataSource:
     def _abort_locally(self, txn: LocalTransaction):
         if txn.is_finished:
             return
-        yield self.env.timeout(self.dialect.commit_cost_ms / 2)
+        yield self.dialect.commit_cost_ms / 2
         if txn.is_finished:
             # Another handler (e.g. a peer-abort rollback racing with a lock
             # timeout) finished the branch while we were paying the abort cost.
@@ -345,14 +343,14 @@ class DataSource:
 
     # --------------------------------------------------------------- recovery
     def _on_list_prepared(self, message: Message):
-        yield self.env.timeout(self.config.request_overhead_ms)
+        yield self.config.request_overhead_ms
         prepared = [xid for xid, txn in self.transactions.items()
                     if txn.state is TxnState.PREPARED]
         self._reply(message, {"prepared": prepared})
 
     def _on_txn_state(self, message: Message):
         xid = (message.payload or {})["xid"]
-        yield self.env.timeout(self.config.request_overhead_ms)
+        yield self.config.request_overhead_ms
         txn = self.transactions.get(xid)
         self._reply(message, {"state": txn.state.value if txn else "unknown"})
 
@@ -369,7 +367,7 @@ class DataSource:
 
     def _on_restart(self, message: Message):
         """Restart after a crash: prepared branches survive, the rest are gone."""
-        yield self.env.timeout(1.0)
+        yield 1.0
         self.crashed = False
         self._reply(message, {"status": "restarted"})
 
@@ -380,7 +378,7 @@ class DataSource:
     # ------------------------------------------------- key-value verbs (ScalarDB)
     def _on_kv_get(self, message: Message):
         payload = message.payload or {}
-        yield self.env.timeout(self.config.request_overhead_ms + self.dialect.read_cost_ms)
+        yield self.config.request_overhead_ms + self.dialect.read_cost_ms
         record = self.engine.table(payload["table"]).get(payload["key"])
         if record is None:
             self._reply(message, {"found": False})
@@ -390,7 +388,7 @@ class DataSource:
 
     def _on_kv_put(self, message: Message):
         payload = message.payload or {}
-        yield self.env.timeout(self.config.request_overhead_ms + self.dialect.write_cost_ms)
+        yield self.config.request_overhead_ms + self.dialect.write_cost_ms
         record = self.engine.table(payload["table"]).put(
             payload["key"], payload["value"], writer=payload.get("writer", "kv"))
         self._reply(message, {"status": "ok", "version": record.version})
@@ -398,7 +396,7 @@ class DataSource:
     def _on_kv_put_if_version(self, message: Message):
         """Conditional write used by middleware-side concurrency control."""
         payload = message.payload or {}
-        yield self.env.timeout(self.config.request_overhead_ms + self.dialect.write_cost_ms)
+        yield self.config.request_overhead_ms + self.dialect.write_cost_ms
         table = self.engine.table(payload["table"])
         record = table.get(payload["key"])
         current_version = record.version if record else 0

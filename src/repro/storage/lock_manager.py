@@ -18,7 +18,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
-from repro.sim.environment import Environment, Timer
+from repro.sim.environment import Environment, WheelTimer
 from repro.sim.events import PENDING, Event
 
 
@@ -63,9 +63,10 @@ class LockRequest:
     event: Event
     requested_at: float
     granted_at: Optional[float] = None
-    #: Lock-wait timer, cancelled when the request is granted so stale
-    #: timeouts do not accumulate on the event heap.
-    timer: Optional[Timer] = None
+    #: Lock-wait timer on the environment's hashed timer wheel, cancelled
+    #: when the request is granted.  Wheel timers never occupy a heap entry,
+    #: so grant-then-cancel churn is O(1) with no lazy-deletion debt.
+    timer: Optional[WheelTimer] = None
 
     @property
     def granted(self) -> bool:
@@ -171,19 +172,24 @@ class LockManager:
 
         self._pending_by_txn.setdefault(txn_id, []).append(request)
 
-        def expire(req: LockRequest = request, ent: _LockEntry = entry) -> None:
-            if req.granted_at is not None or req.event._value is not PENDING:
-                return
-            if req in ent.queue:
-                ent.queue.remove(req)
-            self._discard_pending(req)
-            self.stats.timeouts += 1
-            waited = self.env.now - req.requested_at
-            req.event.fail(LockTimeoutError(req.txn_id, req.key, waited))
-
         if timeout_ms != float("inf"):
-            request.timer = self.env.call_at(timeout_ms, expire)
+            # Coarse wheel timer (allocation-free args form, no per-request
+            # closure): lock waits may expire up to one wheel tick late,
+            # which is noise against the paper's 5 s timeout.
+            request.timer = self.env.call_coarse(timeout_ms, self._expire,
+                                                 request, entry)
         return request.event
+
+    def _expire(self, req: LockRequest, ent: _LockEntry) -> None:
+        """Wheel-timer callback: fail a still-waiting request with a timeout."""
+        if req.granted_at is not None or req.event._value is not PENDING:
+            return
+        if req in ent.queue:
+            ent.queue.remove(req)
+        self._discard_pending(req)
+        self.stats.timeouts += 1
+        waited = self.env.now - req.requested_at
+        req.event.fail(LockTimeoutError(req.txn_id, req.key, waited))
 
     def _can_grant(self, entry: _LockEntry, request: LockRequest) -> bool:
         holders = entry.holders

@@ -82,12 +82,14 @@ class YCSBWorkload(Workload):
         payload = "x" * self.config.value_size_bytes
         preload = min(self.config.records_per_node, self.config.preload_rows_per_node)
         data: Dict[str, Dict[str, Dict]] = {}
+        # Every preloaded row starts from the same synthetic value, and writes
+        # replace record values wholesale (nothing mutates them in place), so
+        # all rows can share a single dict instead of allocating one per key.
+        row = {"field0": payload}
         for node_index, name in enumerate(self.datasource_names):
-            rows = {}
-            for sequence in range(preload):
-                key = self._partitioner.key_for_node(node_index, sequence)
-                rows[key] = {"field0": payload}
-            data[name] = {TABLE: rows}
+            key_for_node = self._partitioner.key_for_node
+            data[name] = {TABLE: {key_for_node(node_index, sequence): row
+                                  for sequence in range(preload)}}
         return data
 
     def next_transaction(self, terminal_id: int = 0) -> TransactionSpec:

@@ -1,19 +1,33 @@
 """Golden-output determinism tests for the simulation engine.
 
-These snapshots were captured from the *unoptimized* engine (before the
-slotted-event/fast-path work) and pin the exact ``ExperimentSummary`` a fixed
-seed must produce: throughput, latency percentiles, abort counts and a SHA-256
-digest over the full latency sample list.  Any engine refactor that changes
-event ordering — however subtly — shifts at least one latency sample and trips
-the digest, so optimizations cannot silently change simulation results.
+These snapshots pin the exact ``ExperimentSummary`` a fixed seed must produce:
+throughput, latency percentiles, abort counts and a SHA-256 digest over the
+full latency sample list.  Any engine change that alters simulation results —
+however subtly — shifts at least one latency sample and trips the digest.
 
-If a *deliberate* semantic change lands (new protocol behaviour, different
-default config), re-capture the snapshot with::
+Re-pin history
+--------------
 
-    PYTHONPATH=src python -m pytest tests/bench/test_golden_summary.py --no-header -q
+* The smoke, contended and scale snapshots were captured on the *unoptimized*
+  engine (pre PR 2); the byte-identical fast-path work of PR 2/3 kept every
+  one of them green.
+* The two **contended** snapshots were re-pinned ONCE when the
+  ordering-relaxed fast paths landed (run-to-first-yield processes, same-time
+  microqueue dispatch, hashed timer wheel for lock waits).  Those
+  optimizations deliberately change same-timestamp event interleaving and
+  round lock-wait expiries up to the next 1 ms wheel tick, which shifted a
+  handful of latency samples by <= 1.2 ms in the lock-heavy runs; committed
+  and abort counts (and the low-contention smoke/scale snapshots) were
+  untouched.  The statistical-equivalence harness
+  (``tests/bench/test_equivalence.py`` / :mod:`repro.bench.equivalence`) is
+  the primary safety net for that class of change; these pins now guard
+  *accidental* drift between deliberate re-pins.
 
-after updating the constants below from the failure output — and say so in the
-commit message.
+If another deliberate semantic change lands, follow the re-pin procedure in
+EXPERIMENTS.md ("Statistical equivalence"): refresh the equivalence reference,
+verify the equivalence suite passes, then update the constants below from the
+failure output — and say so in the commit message.  Goldens must be re-pinned
+at most once per PR.
 """
 
 from __future__ import annotations
@@ -75,18 +89,21 @@ GOLDEN_SMOKE = {
 
 #: Exact summary of a high-contention run (seed 7) that exercises lock waits,
 #: lock-wait timeouts, admission aborts and the release/withdraw paths.
+#: Re-pinned once for the ordering-relaxed engine (see module docstring):
+#: identical committed/abort mix, latency samples shifted <= 1.2 ms by the
+#: 1 ms timer-wheel rounding of lock-wait expiries.
 GOLDEN_CONTENDED = {
     "throughput_tps": 1.875,
     "committed": 15,
     "aborted": 17,
-    "average_latency_ms": 3927.064053333334,
-    "p50": 5073.8,
-    "p99": 5488.048,
+    "average_latency_ms": 3927.496666666667,
+    "p50": 5074.150000000001,
+    "p99": 5488.912,
     "abort_rate": 0.53125,
     "abort_reasons": {"lock_timeout": 11, "admission_blocked": 6},
     "n_samples": 15,
     "latency_sha256":
-        "af16b7148681cdaef3b0e658122f414121015d0464d126fdc612b6a06b42af10",
+        "033bc5a418360988f5079c4a9949ee1293be35b92a69be1aef968b79ad83d86a",
 }
 
 
@@ -94,18 +111,19 @@ GOLDEN_CONTENDED = {
 #: registry refactor routes baseline wiring through plugin builders, and this
 #: pin keeps a non-GeoTP coordinator byte-identical too (the smoke pins above
 #: are too gentle to exercise SSP's lock-timeout and release paths).
+#: Re-pinned once for the ordering-relaxed engine alongside GOLDEN_CONTENDED.
 GOLDEN_CONTENDED_SSP = {
     "throughput_tps": 1.5,
     "committed": 12,
     "aborted": 22,
-    "average_latency_ms": 1210.3249999999996,
-    "p50": 388.099999999999,
-    "p99": 5542.732,
+    "average_latency_ms": 1210.2999999999995,
+    "p50": 387.8999999999992,
+    "p99": 5542.853999999999,
     "abort_rate": 0.6470588235294118,
     "abort_reasons": {"lock_timeout": 22},
     "n_samples": 12,
     "latency_sha256":
-        "89139f3bfc760962c5e652b342db9aefaf48dc194387a7766afd9980f20c8b5a",
+        "f03705fe7fa193f7c876de87f0645286a3c2a046c0d416fa4dce2b9905ff9194",
 }
 
 

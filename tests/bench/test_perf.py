@@ -8,7 +8,10 @@ from repro.bench.__main__ import main
 from repro.bench.perf import (
     PerfMetrics,
     build_document,
+    compare_documents,
     compare_to_baseline,
+    format_comparison,
+    load_history,
     measure_scenario,
     peak_rss_bytes,
 )
@@ -70,6 +73,7 @@ def test_cli_perf_writes_document_and_exits_zero(tmp_path, capsys):
     out = tmp_path / "BENCH_test.json"
     code = main(["perf", "--scenarios", "smoke", "--repeats", "1",
                  "--tag", "test", "--baseline", str(tmp_path / "missing.json"),
+                 "--history", str(tmp_path / "hist.jsonl"),
                  "--output", str(out)])
     assert code == 0
     doc = json.loads(out.read_text())
@@ -83,7 +87,7 @@ def test_cli_perf_fails_on_regression_vs_baseline(tmp_path, capsys):
     baseline.write_text(json.dumps({
         "metrics": [{"scenario": "smoke", "wall_clock_s": 1e-9}]}))
     code = main(["perf", "--scenarios", "smoke", "--repeats", "1",
-                 "--baseline", str(baseline)])
+                 "--no-history", "--baseline", str(baseline)])
     assert code == 1
     assert "PERF REGRESSION" in capsys.readouterr().err
 
@@ -91,9 +95,9 @@ def test_cli_perf_fails_on_regression_vs_baseline(tmp_path, capsys):
 def test_cli_perf_update_baseline_round_trips(tmp_path, capsys):
     baseline = tmp_path / "BENCH_baseline.json"
     assert main(["perf", "--scenarios", "smoke", "--repeats", "1",
-                 "--update-baseline", "--baseline", str(baseline)]) == 0
+                 "--no-history", "--update-baseline", "--baseline", str(baseline)]) == 0
     assert main(["perf", "--scenarios", "smoke", "--repeats", "1",
-                 "--baseline", str(baseline)]) in (0, 1)
+                 "--no-history", "--baseline", str(baseline)]) in (0, 1)
     doc = json.loads(baseline.read_text())
     assert doc["metrics"][0]["scenario"] == "smoke"
 
@@ -106,13 +110,93 @@ def test_cli_perf_unknown_scenario_fails_cleanly(capsys):
 def test_cli_perf_missing_baseline_warns_and_require_flag_fails(tmp_path, capsys):
     missing = str(tmp_path / "nope.json")
     assert main(["perf", "--scenarios", "smoke", "--repeats", "1",
-                 "--baseline", missing, "--output",
+                 "--no-history", "--baseline", missing, "--output",
                  str(tmp_path / "o.json")]) == 0
     assert "cannot load baseline" in capsys.readouterr().err
     assert main(["perf", "--scenarios", "smoke", "--repeats", "1",
-                 "--baseline", missing, "--require-baseline", "--output",
-                 str(tmp_path / "o2.json")]) == 1
+                 "--no-history", "--baseline", missing, "--require-baseline",
+                 "--output", str(tmp_path / "o2.json")]) == 1
     err = capsys.readouterr().err
     assert "--require-baseline" in err
     doc = json.loads((tmp_path / "o2.json").read_text())
     assert "cannot load baseline" in doc["baseline_error"]
+
+# ------------------------------------------------------- history & comparison
+def test_cli_perf_appends_history_line(tmp_path, capsys):
+    history = tmp_path / "hist.jsonl"
+    out = tmp_path / "BENCH_test.json"
+    assert main(["perf", "--scenarios", "smoke", "--repeats", "1",
+                 "--tag", "t1", "--baseline", str(tmp_path / "missing.json"),
+                 "--history", str(history), "--output", str(out)]) == 0
+    assert main(["perf", "--scenarios", "smoke", "--repeats", "1",
+                 "--tag", "t2", "--baseline", str(tmp_path / "missing.json"),
+                 "--history", str(history), "--output", str(out)]) == 0
+    entries = load_history(str(history))
+    assert [e["tag"] for e in entries] == ["t1", "t2"]
+    assert entries[0]["metrics"]["smoke"]["wall_clock_s"] > 0
+    assert entries[0]["metrics"]["smoke"]["events_per_sec"] > 0
+    assert "timestamp" in entries[0]
+
+
+def test_cli_perf_no_history_skips_the_log(tmp_path, capsys):
+    history = tmp_path / "hist.jsonl"
+    assert main(["perf", "--scenarios", "smoke", "--repeats", "1",
+                 "--no-history", "--history", str(history),
+                 "--baseline", str(tmp_path / "missing.json"),
+                 "--output", str(tmp_path / "o.json")]) == 0
+    assert not history.exists()
+    assert load_history(str(history)) == []
+
+
+def _bench_doc(tag, walls):
+    return {"tag": tag,
+            "metrics": [{"scenario": name, "wall_clock_s": wall,
+                         "events_per_sec": events, "committed_per_sec": 1.0}
+                        for name, (wall, events) in walls.items()]}
+
+
+def test_compare_documents_reports_speedup_and_event_rate_delta():
+    doc_a = _bench_doc("old", {"smoke": (2.0, 100.0), "only_a": (1.0, 50.0)})
+    doc_b = _bench_doc("new", {"smoke": (1.0, 150.0), "only_b": (3.0, 60.0)})
+    rows = {row["scenario"]: row for row in compare_documents(doc_a, doc_b)}
+    assert rows["smoke"]["speedup"] == 2.0
+    assert rows["smoke"]["events_per_sec_delta"] == 0.5
+    assert rows["only_a"]["speedup"] is None
+    assert rows["only_b"]["wall_clock_a_s"] is None
+    table = format_comparison(list(rows.values()))
+    assert "smoke" in table and "2.00x" in table
+
+
+def test_cli_perf_compare_prints_table(tmp_path, capsys):
+    path_a, path_b = tmp_path / "a.json", tmp_path / "b.json"
+    path_a.write_text(json.dumps(_bench_doc("old", {"smoke": (2.0, 100.0)})))
+    path_b.write_text(json.dumps(_bench_doc("new", {"smoke": (1.0, 150.0)})))
+    assert main(["perf", "--compare", str(path_a), str(path_b)]) == 0
+    captured = capsys.readouterr()
+    assert "2.00x" in captured.out
+    assert "B is faster" in captured.err
+
+
+def test_cli_perf_compare_missing_file_fails_cleanly(tmp_path, capsys):
+    assert main(["perf", "--compare", str(tmp_path / "a.json"),
+                 str(tmp_path / "b.json")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_perf_bad_history_path_warns_but_keeps_the_run(tmp_path, capsys):
+    out = tmp_path / "o.json"
+    assert main(["perf", "--scenarios", "smoke", "--repeats", "1",
+                 "--baseline", str(tmp_path / "missing.json"),
+                 "--history", str(tmp_path / "no_such_dir" / "h.jsonl"),
+                 "--output", str(out)]) == 0
+    assert "cannot append history" in capsys.readouterr().err
+    assert json.loads(out.read_text())["metrics"][0]["scenario"] == "smoke"
+
+
+def test_cli_perf_compare_rejects_measurement_flags(tmp_path, capsys):
+    path = tmp_path / "a.json"
+    path.write_text(json.dumps(_bench_doc("x", {"smoke": (1.0, 1.0)})))
+    assert main(["perf", "--compare", str(path), str(path),
+                 "--output", str(tmp_path / "o.json")]) == 2
+    assert "--compare cannot be combined" in capsys.readouterr().err
+    assert not (tmp_path / "o.json").exists()

@@ -21,9 +21,21 @@ EXPECTED_SCENARIOS = {
     "fig1b", "fig5_overall", "fig6_breakdown", "fig7_dist_ratio_ycsb",
     "fig8_latency_cdf", "fig9_dist_ratio_tpcc", "fig10_mean_sweep",
     "fig10_std_sweep", "fig11a_random_latency", "fig11b_dynamic_latency",
-    "fig12_ablation", "fig13_yugabyte", "fig14_length", "fig14_rounds",
-    "fig15_multi_region", "table1_heterogeneous", "smoke",
+    "fig11b_fine", "fig12_ablation", "fig13_yugabyte", "fig14_length",
+    "fig14_rounds", "fig15_multi_region", "table1_heterogeneous", "smoke",
 }
+
+
+def test_fig11b_fine_expands_to_320_one_second_phases():
+    sweep = get_scenario("fig11b_fine").sweep()
+    points = sweep.points()
+    assert len(points) == 2
+    for point in points:
+        assert point.config.duration_ms == 320_000.0
+        models = [node.latency_model
+                  for node in point.config.topology.data_nodes]
+        assert all(len(model.schedule) == 320 for model in models)
+        assert all(model.schedule[1][0] == 1_000.0 for model in models)
 
 
 def test_registry_covers_every_paper_experiment():

@@ -244,10 +244,36 @@ def test_yielding_non_event_fails_the_process():
     env = Environment()
 
     def bad():
-        yield 42
+        yield "not an event"
 
     env.process(bad())
     with pytest.raises(RuntimeError, match="non-event"):
+        env.run()
+
+
+def test_yielding_a_number_sleeps_for_that_many_ms():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        yield 7.5
+        log.append(env.now)
+        yield 2          # ints work too
+        log.append(env.now)
+
+    env.process(sleeper())
+    env.run()
+    assert log == [7.5, 9.5]
+
+
+def test_yielding_a_negative_number_fails_the_process():
+    env = Environment()
+
+    def bad():
+        yield -1.0
+
+    env.process(bad())
+    with pytest.raises(ValueError, match="negative delay"):
         env.run()
 
 

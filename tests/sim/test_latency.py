@@ -72,6 +72,26 @@ def test_dynamic_latency_before_first_entry_uses_first_value():
     assert model.rtt_at(0) == 30
 
 
+def test_dynamic_latency_equal_start_times_resolve_to_the_last_entry():
+    # The bisect lookup must match the old linear scan: with duplicate start
+    # times the later (sorted-last) entry wins from that time onward.
+    model = DynamicLatency([(0, 50), (10, 70), (10, 90)])
+    assert model.rtt_at(9.9) == 50
+    assert model.rtt_at(10) == 90
+    assert model.rtt_at(11) == 90
+
+
+def test_dynamic_latency_fine_grained_schedule_lookup():
+    # A fig11b_fine-style schedule: 320 one-second phases.  Every phase
+    # boundary and interior point must resolve to its phase's RTT.
+    schedule = [(phase * 1_000.0, float(10 + phase % 7)) for phase in range(320)]
+    model = DynamicLatency(schedule)
+    for phase in (0, 1, 5, 137, 318, 319):
+        assert model.rtt_at(phase * 1_000.0) == 10 + phase % 7
+        assert model.rtt_at(phase * 1_000.0 + 999.9) == 10 + phase % 7
+    assert model.rtt_at(1e9) == 10 + 319 % 7
+
+
 def test_dynamic_latency_empty_schedule_rejected():
     with pytest.raises(ValueError):
         DynamicLatency([])

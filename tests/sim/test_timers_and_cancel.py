@@ -28,9 +28,11 @@ def test_call_at_orders_like_an_equally_timed_timeout():
     env.process(waiter())
     env.call_at(3.0, lambda: order.append("timer"))
     env.run()
-    # The timer entered the queue before the process body ran and created its
-    # timeout, so FIFO order at equal times puts the timer first.
-    assert order == ["timer", "timeout"]
+    # Run-to-first-yield: the process body executed inline at spawn time, so
+    # its timeout entered the queue *before* the call_at timer; FIFO order at
+    # equal times puts the timeout first.  (The pre-reordering engine deferred
+    # the process body to an init event and the timer won instead.)
+    assert order == ["timeout", "timer"]
 
 
 def test_cancelled_timer_never_fires_and_clock_still_advances_past_live_events():
@@ -157,8 +159,9 @@ def test_events_processed_counts_events_and_timers():
 
     env.process(proc())
     env.run()
-    # init event + call_at timer + timeout + process completion
-    assert env.events_processed == 4
+    # call_at timer + timeout + process completion; run-to-first-yield spawn
+    # means there is no init event to count any more.
+    assert env.events_processed == 3
 
 
 def test_run_until_cancelled_event_raises_instead_of_returning_sentinel():

@@ -103,6 +103,8 @@ def test_lock_timeout_fails_request_and_counts():
     env.process(holder())
     env.process(waiter())
     env.run(until=2000)
+    # Lock-wait timers live on the hashed timer wheel (1 ms ticks): the
+    # 101 ms deadline falls exactly on a tick, so the expiry is unchanged.
     assert errors == [(101, "w", pytest.approx(100))]
     assert lm.stats.timeouts == 1
 
@@ -389,6 +391,7 @@ def test_withdrawn_pending_request_still_times_out_like_before():
     env.process(holder())
     env.process(blocked())
     env.run()
+    # Deadline 51 ms falls exactly on a 1 ms wheel tick: fires at 51.
     assert failures == [(51.0, "t2")]
     assert lm.stats.timeouts == 1
 
