@@ -15,9 +15,13 @@ in Database Middlewares* (ICDE 2025).  The public API is small:
   behind both axes: systems and workloads are self-registering modules (see
   ``repro.plugins`` and ``repro.contrib``), discoverable via
   :func:`system_names` / :func:`workload_names` and
-  ``python -m repro.bench list --systems/--workloads``.
+  ``python -m repro.bench list --systems/--workloads``;
+* :class:`FaultPlan` / :class:`FaultEvent` / :class:`FaultKind` — scheduled
+  fault injection (crashes, outages, partitions, latency spikes) via
+  ``ExperimentConfig.fault_plan``.
 
-See README.md for a quickstart and DESIGN.md for the system inventory.
+See README.md for a quickstart, ARCHITECTURE.md for the layer map and
+PLUGINS.md for the plugin authoring guide.
 """
 
 from repro.bench.runner import (
@@ -38,6 +42,7 @@ from repro.common import (
 )
 from repro.core.config import GeoTPConfig
 from repro.middleware.statements import Statement, TransactionSpec
+from repro.recovery.failures import FaultEvent, FaultKind, FaultPlan
 from repro.plugins import (
     SystemPlugin,
     WorkloadPlugin,
@@ -72,6 +77,9 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "ExperimentSummary",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
     "GeoTPConfig",
     "MiddlewareSpec",
     "Operation",

@@ -30,6 +30,7 @@ from typing import List, Optional
 
 from repro.bench import perf as perf_mod
 from repro.bench.parallel import SweepRunner, SweepResult
+from repro.bench.report import registry_markdown, system_capabilities
 from repro.bench.scenarios import SCENARIOS, get_scenario, scenario_names
 from repro.plugins import system_plugins, workload_plugins
 
@@ -46,6 +47,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="list the system registry (aliases + capabilities)")
     lister.add_argument("--workloads", action="store_true",
                         help="list the workload registry (aliases + descriptions)")
+    lister.add_argument("--markdown", action="store_true",
+                        help="emit the scenario/system/workload tables as "
+                             "markdown (the EXPERIMENTS.md registry block)")
 
     run = commands.add_parser("run", help="run one scenario and emit JSON")
     run.add_argument("scenario", help="registered scenario name (see `list`)")
@@ -109,16 +113,6 @@ def _list_scenarios() -> int:
     return 0
 
 
-def _system_capabilities(plugin) -> str:
-    flags = [flag for flag, enabled in (
-        ("agents", plugin.needs_agents),
-        ("colocated-ds0", plugin.colocated_with_ds0),
-        ("probing", plugin.supports_active_probing),
-        (f"ablations[{len(plugin.ablations)}]", bool(plugin.ablations)),
-    ) if enabled]
-    return ",".join(flags) or "-"
-
-
 def _list_registry(plugins, capabilities) -> int:
     width = max(len(plugin.name) for plugin in plugins)
     for plugin in plugins:
@@ -130,11 +124,16 @@ def _list_registry(plugins, capabilities) -> int:
 
 
 def _run_list(args: argparse.Namespace) -> int:
+    if args.markdown:
+        # The committed EXPERIMENTS.md registry block: always all three
+        # tables, so regenerate-and-diff has a single canonical form.
+        print(registry_markdown(), end="")
+        return 0
     if not args.systems and not args.workloads:
         return _list_scenarios()
     status = 0
     if args.systems:
-        status |= _list_registry(system_plugins(), _system_capabilities)
+        status |= _list_registry(system_plugins(), system_capabilities)
     if args.workloads:
         status |= _list_registry(workload_plugins(), None)
     return status

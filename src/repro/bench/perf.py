@@ -81,6 +81,7 @@ class PerfMetrics:
     peak_rss_bytes: int
 
     def to_dict(self) -> Dict[str, Any]:
+        """The ``metrics`` entry of a ``BENCH_<tag>.json`` document."""
         return {
             "scenario": self.scenario,
             "points": self.points,
@@ -145,6 +146,7 @@ class Comparison:
     regression: bool
 
     def to_dict(self) -> Dict[str, Any]:
+        """The ``baseline_comparison`` entry of a ``BENCH_<tag>.json`` document."""
         return {
             "scenario": self.scenario,
             "wall_clock_s": round(self.wall_clock_s, 5),

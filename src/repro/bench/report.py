@@ -1,4 +1,11 @@
-"""Plain-text reporting of experiment results (the tables/series the paper plots)."""
+"""Plain-text and markdown reporting: result tables and the registry tables.
+
+Two consumers: the example/benchmark scripts print experiment results through
+:func:`format_table`/:func:`print_table`, and ``python -m repro.bench list
+--markdown`` emits the scenario/system/workload registry as markdown via
+:func:`registry_markdown` — the same text committed in EXPERIMENTS.md and kept
+in sync by ``tests/bench/test_docs_sync.py`` plus the CI drift check.
+"""
 
 from __future__ import annotations
 
@@ -39,3 +46,101 @@ def print_series(title: str, series: List[Tuple[float, float]],
                  x_label: str = "x", y_label: str = "y") -> None:
     """Print an (x, y) series as a two-column table."""
     print_table(title, [x_label, y_label], series)
+
+
+# ------------------------------------------------------------------- markdown
+def format_markdown_table(headers: Sequence[str],
+                          rows: Iterable[Sequence]) -> str:
+    """Render a GitHub-flavoured markdown pipe table."""
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        cells = [str(cell).replace("|", "\\|") for cell in row]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def system_capabilities(plugin) -> str:
+    """Compact capability-flag summary of one system plugin (``-`` if none)."""
+    flags = [flag for flag, enabled in (
+        ("agents", plugin.needs_agents),
+        ("colocated-ds0", plugin.colocated_with_ds0),
+        ("probing", plugin.supports_active_probing),
+        (f"ablations[{len(plugin.ablations)}]", bool(plugin.ablations)),
+    ) if enabled]
+    return ",".join(flags) or "-"
+
+
+def registry_markdown() -> str:
+    """The scenario/system/workload registries as three markdown tables.
+
+    This is the exact text ``python -m repro.bench list --markdown`` prints
+    and EXPERIMENTS.md commits between its GENERATED REGISTRY TABLES markers;
+    regenerating and diffing the two is how table drift is caught.
+    """
+    from repro.bench.scenarios import SCENARIOS, scenario_names
+    from repro.plugins import system_plugins, workload_plugins
+
+    scenario_rows = []
+    for name in scenario_names():
+        scenario = SCENARIOS[name]
+        axes = " × ".join(f"{axis.name}[{len(axis.values)}]"
+                          for axis in scenario.axes)
+        points = 1
+        for axis in scenario.axes:
+            points *= len(axis.values)
+        scenario_rows.append((f"`{name}`", axes, points, scenario.description))
+
+    system_rows = [(f"`{plugin.name}`", ", ".join(plugin.aliases) or "-",
+                    system_capabilities(plugin), plugin.description)
+                   for plugin in system_plugins()]
+    workload_rows = [(f"`{plugin.name}`", ", ".join(plugin.aliases) or "-",
+                      plugin.description)
+                     for plugin in workload_plugins()]
+
+    sections = [
+        "#### Scenarios\n\n" + format_markdown_table(
+            ("scenario", "axes", "points", "description"), scenario_rows),
+        "#### Systems\n\n" + format_markdown_table(
+            ("system", "aliases", "capabilities", "description"), system_rows),
+        "#### Workloads\n\n" + format_markdown_table(
+            ("workload", "aliases", "description"), workload_rows),
+    ]
+    return "\n\n".join(sections) + "\n"
+
+
+#: Markers delimiting the committed registry block in EXPERIMENTS.md.
+REGISTRY_BLOCK_BEGIN = ("<!-- BEGIN GENERATED REGISTRY TABLES "
+                        "(python -m repro.bench list --markdown) -->")
+REGISTRY_BLOCK_END = "<!-- END GENERATED REGISTRY TABLES -->"
+
+
+def extract_registry_block(text: str) -> str:
+    """The committed registry tables between the EXPERIMENTS.md markers."""
+    try:
+        start = text.index(REGISTRY_BLOCK_BEGIN) + len(REGISTRY_BLOCK_BEGIN)
+        end = text.index(REGISTRY_BLOCK_END)
+    except ValueError:
+        raise ValueError("registry-table markers not found") from None
+    return text[start:end].strip("\n") + "\n"
+
+
+def update_registry_block(path: str) -> bool:
+    """Rewrite the registry block of ``path`` in place; True if it changed.
+
+    The refresh command after registering a new scenario/system/workload::
+
+        PYTHONPATH=src python -c "from repro.bench.report import \\
+            update_registry_block; update_registry_block('EXPERIMENTS.md')"
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    current = extract_registry_block(text)
+    fresh = registry_markdown()
+    if current == fresh:
+        return False
+    begin = text.index(REGISTRY_BLOCK_BEGIN) + len(REGISTRY_BLOCK_BEGIN)
+    end = text.index(REGISTRY_BLOCK_END)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text[:begin] + "\n" + fresh + text[end:])
+    return True

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import gc
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.baselines.scalardb import ScalarDBConfig
 from repro.cluster.client import start_terminals
@@ -26,6 +26,7 @@ from repro.metrics.resources import ResourceUsage
 from repro.metrics.timeline import ThroughputTimeline
 from repro.middleware.middleware import MiddlewareConfig
 from repro.plugins import get_workload_plugin
+from repro.recovery.failures import FaultInjector, FaultPlan
 from repro.workloads.base import Workload, WorkloadConfig
 from repro.workloads.tpcc import TPCCConfig
 from repro.workloads.ycsb import YCSBConfig
@@ -55,6 +56,11 @@ class ExperimentConfig:
     #: Enable GeoTP's active latency probing (needed when link latencies change
     #: while the workload is not exercising them, Figure 11b).
     active_probing: bool = False
+    #: Scheduled faults (crashes, outages, partitions, latency spikes) to
+    #: inject during the run; ``None`` runs fault-free.  When set, the runner
+    #: wires up a :class:`~repro.recovery.failures.FaultInjector` and the
+    #: summary carries the fault/availability report in ``faults``.
+    fault_plan: Optional[FaultPlan] = None
     seed: int = 0
 
 
@@ -89,6 +95,10 @@ class ExperimentSummary:
     timeline: Optional[ThroughputTimeline] = None
     #: Total simulation queue entries dispatched (events + timers).
     events_processed: int = 0
+    #: Fault/availability report of a fault-injection run (plan, injector log,
+    #: recovery passes, per-second availability, time-to-recover); ``None``
+    #: for fault-free runs.  See ``FaultInjector.summarize``.
+    faults: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------ conveniences
     @property
@@ -140,6 +150,8 @@ class ExperimentSummary:
                 "bucket_ms": self.timeline.bucket_ms,
                 "series": [list(pair) for pair in self.timeline.series()],
             }
+        if self.faults is not None:
+            out["faults"] = self.faults
         if include_samples:
             out["latency_samples"] = list(self.latency_samples)
         return out
@@ -168,6 +180,9 @@ class ExperimentResult:
     seed: int = 0
     #: Total simulation queue entries dispatched (events + timers).
     events_processed: int = 0
+    #: Fault/availability report of a fault-injection run (see
+    #: ``ExperimentSummary.faults``); ``None`` for fault-free runs.
+    faults: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------ conveniences
     def throughput_for(self, txn_type: str) -> float:
@@ -214,6 +229,7 @@ class ExperimentResult:
                 distributed=True).samples,
             timeline=self.timeline,
             events_processed=self.events_processed,
+            faults=self.faults,
         )
 
 
@@ -268,6 +284,11 @@ def run_experiment(config: ExperimentConfig,
             if hasattr(middleware, "start_probing"):
                 middleware.start_probing()
 
+    fault_injector = None
+    if config.fault_plan is not None:
+        fault_injector = FaultInjector(cluster, config.fault_plan)
+        fault_injector.install()
+
     start_terminals(cluster.env, cluster.middlewares, workload, collector,
                     terminal_count=config.terminals, duration_ms=config.duration_ms,
                     timeline=timeline)
@@ -314,4 +335,6 @@ def run_experiment(config: ExperimentConfig,
         cluster=cluster if keep_cluster else None,
         seed=config.seed,
         events_processed=cluster.env.events_processed,
+        faults=(fault_injector.summarize(collector, config.duration_ms)
+                if fault_injector is not None else None),
     )

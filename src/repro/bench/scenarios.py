@@ -41,6 +41,7 @@ from repro.plugins import (
     normalize_workload,
     system_plugins,
 )
+from repro.recovery.failures import FaultEvent, FaultKind, FaultPlan
 from repro.sim.latency import DynamicLatency, RandomLatency
 from repro.sim.rng import SeededRNG
 from repro.workloads.tpcc import TPCCConfig
@@ -413,6 +414,53 @@ def _apply_extra_geotp(config: ExperimentConfig,
     return config
 
 
+# --------------------------------------------------------------- fault family
+#: The fault scenarios compare GeoTP against two 2PC baselines; the paper's
+#: §V-A recovery protocol runs identically under all three coordinators.
+FAULT_SYSTEMS = ("ssp", "ssp_local", "geotp")
+
+#: When the fault strikes / how long it lasts, as fractions of the run
+#: duration — so CLI ``--duration-ms`` overrides keep the fault inside the
+#: measured window (injection at 40 % sits past the default warm-up at every
+#: scale the suite uses).
+FAULT_AT_FRACTION = 0.4
+FAULT_DURATION_FRACTION = 0.15
+
+
+def fault_window(duration_ms: float) -> Tuple[float, float]:
+    """``(at_ms, duration_ms)`` of the fault for a run of ``duration_ms``."""
+    return duration_ms * FAULT_AT_FRACTION, duration_ms * FAULT_DURATION_FRACTION
+
+
+def _fault_plan(config: ExperimentConfig, kind: FaultKind,
+                **kwargs: Any) -> ExperimentConfig:
+    at_ms, duration_ms = fault_window(config.duration_ms)
+    config.fault_plan = FaultPlan(events=(
+        FaultEvent(kind=kind, at_ms=at_ms, duration_ms=duration_ms, **kwargs),))
+    return config
+
+
+def _apply_fault_middleware_crash(config: ExperimentConfig,
+                                  params: Dict[str, Any]) -> ExperimentConfig:
+    return _fault_plan(config, FaultKind.MIDDLEWARE_CRASH)
+
+
+def _apply_fault_ds_crash(config: ExperimentConfig,
+                          params: Dict[str, Any]) -> ExperimentConfig:
+    return _fault_plan(config, FaultKind.DATASOURCE_CRASH, target="ds1")
+
+
+def _apply_fault_region_outage(config: ExperimentConfig,
+                               params: Dict[str, Any]) -> ExperimentConfig:
+    return _fault_plan(config, FaultKind.REGION_OUTAGE, target="ds2")
+
+
+def _apply_fault_latency_spike(config: ExperimentConfig,
+                               params: Dict[str, Any]) -> ExperimentConfig:
+    return _fault_plan(config, FaultKind.LATENCY_SPIKE, target=None,
+                       factor=params.get("factor", 4.0))
+
+
 # --------------------------------------------------------- registered scenarios
 #: The five systems compared in the overall evaluation (Fig. 5).
 OVERALL_SYSTEMS = ("ssp", "ssp_local", "scalardb", "scalardb_plus", "geotp")
@@ -598,6 +646,43 @@ register(ScenarioSpec(
     base=_base(ycsb=default_ycsb(skew=CONTENTION_SKEW["high"])),
     axes=(Axis("admission_max_retries", (0, 10)),),
     apply=_apply_extra_geotp,
+))
+
+register(ScenarioSpec(
+    name="fault_middleware_crash",
+    description="Crash-and-restart the middleware mid-run; §V-A recovery "
+                "resolves the in-doubt branches (fault at 40% of the run, "
+                "down for 15%)",
+    base=_base(),
+    axes=(Axis("system", FAULT_SYSTEMS),),
+    apply=_apply_fault_middleware_crash,
+))
+
+register(ScenarioSpec(
+    name="fault_ds_crash",
+    description="Crash-and-restart data source ds1; unprepared branches are "
+                "lost, siblings roll back, prepared ones recover",
+    base=_base(),
+    axes=(Axis("system", FAULT_SYSTEMS),),
+    apply=_apply_fault_ds_crash,
+))
+
+register(ScenarioSpec(
+    name="fault_region_outage",
+    description="Cut every link to the ds2 region (messages parked until the "
+                "heal); throughput dips and self-recovers without restarts",
+    base=_base(),
+    axes=(Axis("system", FAULT_SYSTEMS),),
+    apply=_apply_fault_region_outage,
+))
+
+register(ScenarioSpec(
+    name="fault_latency_spike",
+    description="Transient 4x latency degradation on every WAN link "
+                "(a routing flap, not an outage)",
+    base=_base(),
+    axes=(Axis("system", FAULT_SYSTEMS),),
+    apply=_apply_fault_latency_spike,
 ))
 
 register(ScenarioSpec(

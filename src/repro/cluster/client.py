@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.common import AbortReason
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.timeline import ThroughputTimeline
 from repro.middleware.middleware import MiddlewareBase
@@ -21,6 +22,11 @@ from repro.workloads.base import Workload
 
 class ClientTerminal:
     """One closed-loop client session."""
+
+    #: Pause before reconnecting after the middleware refused a submission
+    #: (``AbortReason.UNAVAILABLE``, i.e. it is crashed); without it a closed
+    #: loop would spin at simulated-zero cost against a dead coordinator.
+    RETRY_BACKOFF_MS = 50.0
 
     def __init__(self, env: Environment, terminal_id: int, middleware: MiddlewareBase,
                  workload: Workload, collector: MetricsCollector,
@@ -47,6 +53,8 @@ class ClientTerminal:
             self.collector.record(result, txn_type=spec.txn_type)
             if self.timeline is not None and result.committed:
                 self.timeline.record(result.end_time)
+            if result.abort_reason is AbortReason.UNAVAILABLE:
+                yield self.env.timeout(self.RETRY_BACKOFF_MS)
             if self.think_time_ms > 0:
                 yield self.env.timeout(self.think_time_ms)
 

@@ -44,6 +44,9 @@ class AbortReason(enum.Enum):
     PREPARE_FAILED = "prepare_failed"
     USER_ABORT = "user_abort"
     FAILURE = "failure"
+    #: The coordinator or a data source was crashed / unreachable (fault
+    #: injection); clients back off briefly before retrying.
+    UNAVAILABLE = "unavailable"
 
 
 @dataclass(slots=True)

@@ -1,5 +1,6 @@
 """Measurement utilities: latency/throughput collection, percentiles, breakdowns."""
 
+from repro.metrics.availability import AvailabilityReport, build_availability
 from repro.metrics.collector import MetricsCollector, TransactionSample
 from repro.metrics.percentiles import LatencyDistribution, percentile
 from repro.metrics.timeline import ThroughputTimeline
@@ -7,11 +8,13 @@ from repro.metrics.breakdown import PhaseBreakdown
 from repro.metrics.resources import ResourceUsage
 
 __all__ = [
+    "AvailabilityReport",
     "LatencyDistribution",
     "MetricsCollector",
     "PhaseBreakdown",
     "ResourceUsage",
     "ThroughputTimeline",
     "TransactionSample",
+    "build_availability",
     "percentile",
 ]

@@ -21,6 +21,7 @@ from repro.middleware.rewriter import Rewriter
 from repro.middleware.router import Partitioner
 from repro.middleware.statements import TransactionSpec
 from repro.sim.environment import Environment
+from repro.sim.events import Interrupt
 from repro.sim.network import Message, Network, NetworkInterface
 from repro.sim.process import Process
 from repro.storage.dialects import Dialect, MySQLDialect
@@ -113,6 +114,9 @@ class MiddlewareBase:
         self.wal = WriteAheadLog(flush_cost_ms=config.log_flush_cost_ms)
         self.stats = MiddlewareStats()
         self.active_contexts: Dict[str, TransactionContext] = {}
+        #: Live coordinator processes by transaction id; the fault injector
+        #: interrupts these when it crashes the middleware.
+        self.active_processes: Dict[str, Process] = {}
         self._txn_counter = count(1)
         self.crashed = False
         # Direct-consumer inbox: asynchronous messages (decentralized prepare
@@ -125,19 +129,46 @@ class MiddlewareBase:
         """Start processing a client transaction.
 
         Returns the coordinator process; its value is a
-        :class:`~repro.common.TransactionResult`.
+        :class:`~repro.common.TransactionResult`.  While the middleware is
+        crashed the submission is refused after a connection-attempt delay
+        (an aborted result with :attr:`~repro.common.AbortReason.UNAVAILABLE`)
+        instead of being coordinated.
         """
         self.stats.submitted += 1
         txn_id = f"{self.name}-t{next(self._txn_counter)}"
+        if self.crashed:
+            return self.env.process(self._refuse(txn_id, spec),
+                                    name=f"{self.name}:{txn_id}:refused")
         ctx = TransactionContext(txn_id=txn_id, spec=spec, submitted_at=self.env.now)
         self.active_contexts[txn_id] = ctx
-        return self.env.process(self._coordinate(ctx), name=f"{self.name}:{txn_id}")
+        process = self.env.process(self._coordinate(ctx),
+                                   name=f"{self.name}:{txn_id}")
+        if process.is_alive:
+            self.active_processes[txn_id] = process
+        return process
+
+    def _refuse(self, txn_id: str, spec: TransactionSpec):
+        """Fail a submission against a crashed middleware (connection refused)."""
+        submitted_at = self.env.now
+        yield self.config.request_overhead_ms
+        result = TransactionResult(
+            txn_id=txn_id, outcome=TxnOutcome.ABORTED,
+            start_time=submitted_at, end_time=self.env.now,
+            is_distributed=False, abort_reason=AbortReason.UNAVAILABLE)
+        self.stats.record_outcome(result)
+        return result
 
     def _coordinate(self, ctx: TransactionContext):
         try:
             outcome, reason = yield from self._run_transaction(ctx)
+        except Interrupt:
+            # The middleware crashed under this transaction: the coordinator
+            # is gone, in-doubt branches are left for the recovery protocol,
+            # and the client sees the connection drop.
+            outcome, reason = TxnOutcome.ABORTED, AbortReason.UNAVAILABLE
         finally:
             self.active_contexts.pop(ctx.txn_id, None)
+            self.active_processes.pop(ctx.txn_id, None)
         self.on_transaction_finished(ctx, outcome, reason)
         ctx.enter_phase(TransactionPhase.DONE, self.env.now)
         result = TransactionResult(

@@ -1,6 +1,22 @@
 """Failure injection and recovery (§V-A of the paper)."""
 
-from repro.recovery.failures import FailureInjector
+from repro.recovery.failures import (
+    FailureInjector,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    post_recovery_band,
+)
 from repro.recovery.recovery_manager import RecoveryManager, RecoveryReport
 
-__all__ = ["FailureInjector", "RecoveryManager", "RecoveryReport"]
+__all__ = [
+    "FailureInjector",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "RecoveryManager",
+    "RecoveryReport",
+    "post_recovery_band",
+]

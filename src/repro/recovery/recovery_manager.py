@@ -17,7 +17,7 @@ the information needed to decide them lives, and *how* to finish them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterable, List, Optional
 
 from repro import protocol
 from repro.middleware.middleware import MiddlewareBase
@@ -57,12 +57,47 @@ class RecoveryManager:
     # ----------------------------------------------------- middleware restart
     def recover_after_middleware_crash(self):
         """Generator: resolve every prepared-but-undecided branch in the cluster."""
+        return (yield from self.resolve_in_doubt())
+
+    def resolve_in_doubt(self, participant_names: Optional[Iterable[str]] = None,
+                         skip_global_ids: Iterable[str] = (),
+                         owned_prefix: Optional[str] = None):
+        """Generator: drive prepared-but-undecided branches to their outcome.
+
+        Collects the prepared branches of the named participants (all of them
+        by default), consults the decision log and commits or rolls back each
+        branch (AC3/AC4: no logged decision means the transaction never
+        entered the commit phase, so rollback is safe).
+
+        ``skip_global_ids`` exempts transactions that still have a *live*
+        coordinator: after a data-source restart the other participants may
+        hold branches that are legitimately mid-prepare, and only their own
+        coordinator may decide them.  A restart-triggered recovery pass
+        therefore passes the middleware's active transaction ids here.
+
+        ``owned_prefix`` restricts the pass to branches this middleware owns
+        (global ids are prefixed with the coordinator name), so in
+        multi-middleware deployments one coordinator's recovery never decides
+        another's in-doubt transactions — its decision log knows nothing
+        about them.
+        """
         report = RecoveryReport()
-        for name, handle in self.middleware.participants.items():
+        skip = set(skip_global_ids)
+        participants = self.middleware.participants
+        if participant_names is None:
+            selected = participants.items()
+        else:
+            selected = [(name, participants[name]) for name in participant_names]
+        for name, handle in selected:
             reply = yield self.middleware.request_participant(
                 handle, protocol.MSG_LIST_PREPARED, {})
             prepared = reply.get("prepared", []) if isinstance(reply, dict) else []
             for branch_xid in prepared:
+                global_txn_id = branch_xid.rsplit(".", 1)[0]
+                if global_txn_id in skip:
+                    continue
+                if owned_prefix is not None and not global_txn_id.startswith(owned_prefix):
+                    continue
                 decision = self._decision_for(branch_xid)
                 if decision is LogRecordType.COMMIT:
                     yield self.middleware.request_participant(

@@ -51,18 +51,91 @@ class Message:
 class NetworkStats:
     """Aggregate counters of network activity (messages and bytes proxied)."""
 
-    __slots__ = ("messages_sent", "messages_by_type", "total_delay_ms")
+    __slots__ = ("messages_sent", "messages_by_type", "total_delay_ms",
+                 "messages_parked", "messages_dropped")
 
     def __init__(self) -> None:
         self.messages_sent = 0
         self.messages_by_type: Dict[str, int] = {}
         self.total_delay_ms = 0.0
+        #: Deliveries held back by an active outage/partition (released on heal).
+        self.messages_parked = 0
+        #: Deliveries discarded by a drop-mode disruption (never released).
+        self.messages_dropped = 0
 
     def record(self, message: Message, delay_ms: float) -> None:
         self.messages_sent += 1
         self.messages_by_type[message.msg_type] = (
             self.messages_by_type.get(message.msg_type, 0) + 1)
         self.total_delay_ms += delay_ms
+
+
+#: Disruption modes: ``park`` holds deliveries back and releases them on heal
+#: (a transient outage — TCP retransmits eventually get through); ``drop``
+#: discards them outright (callers waiting on a dropped RPC reply block until
+#: some higher-level timeout fires — use only when the model has one).
+PARK = "park"
+DROP = "drop"
+
+
+class _FaultState:
+    """Active network disruptions: blocked/degraded nodes and links.
+
+    Kept out of :class:`Network` so the fault-free hot path pays exactly one
+    ``is None`` check per message; the state object only exists while the
+    fault-injection subsystem (:mod:`repro.recovery.failures`) has at least one
+    disruption installed.  Parked deliveries are queued per disruption key and
+    re-scheduled, in park order and with a fresh link delay, when that
+    disruption is lifted.
+    """
+
+    __slots__ = ("blocked_nodes", "blocked_links", "degraded_nodes",
+                 "degraded_links", "parked")
+
+    def __init__(self) -> None:
+        #: Node name -> mode (:data:`PARK`/:data:`DROP`); blocks every link
+        #: touching the node in either direction (a region outage).
+        self.blocked_nodes: Dict[str, str] = {}
+        #: Directed (src, dst) link -> mode (a network partition).
+        self.blocked_links: Dict[Tuple[str, str], str] = {}
+        #: Node name -> delay multiplier applied to every touching link.
+        self.degraded_nodes: Dict[str, float] = {}
+        #: Directed (src, dst) link -> delay multiplier.
+        self.degraded_links: Dict[Tuple[str, str], float] = {}
+        #: Disruption key -> parked ``(src, dst, delay, fn, args)`` deliveries
+        #: in park order.  Keys are ``("node", name)`` or
+        #: ``("link", (src, dst))``.
+        self.parked: Dict[Tuple, list] = {}
+
+    def empty(self) -> bool:
+        """True once no disruption of any kind remains installed."""
+        return not (self.blocked_nodes or self.blocked_links
+                    or self.degraded_nodes or self.degraded_links
+                    or self.parked)
+
+    def block_key(self, src: str, dst: str):
+        """The (mode, park key) of the disruption blocking ``src -> dst``, if any."""
+        mode = self.blocked_nodes.get(src)
+        if mode is not None:
+            return mode, ("node", src)
+        mode = self.blocked_nodes.get(dst)
+        if mode is not None:
+            return mode, ("node", dst)
+        mode = self.blocked_links.get((src, dst))
+        if mode is not None:
+            return mode, ("link", (src, dst))
+        return None
+
+    def delay_factor(self, src: str, dst: str) -> float:
+        """Combined latency-degradation multiplier for ``src -> dst``."""
+        factor = self.degraded_links.get((src, dst), 1.0)
+        node_factor = self.degraded_nodes.get(src)
+        if node_factor is not None:
+            factor *= node_factor
+        node_factor = self.degraded_nodes.get(dst)
+        if node_factor is not None:
+            factor *= node_factor
+        return factor
 
 
 class Network:
@@ -74,6 +147,9 @@ class Network:
         self._links: Dict[Tuple[str, str], LatencyModel] = {}
         self._inboxes: Dict[str, Store] = {}
         self.stats = NetworkStats()
+        #: Active disruptions, or None while the network is healthy (the
+        #: common case — the hot send path checks only this attribute).
+        self._faults: Optional[_FaultState] = None
 
     # ---------------------------------------------------------------- wiring
     def register_node(self, name: str) -> Store:
@@ -108,6 +184,127 @@ class Network:
         self.register_node(name)
         return NetworkInterface(self, name)
 
+    # ------------------------------------------------------------ disruptions
+    def _fault_state(self) -> _FaultState:
+        if self._faults is None:
+            self._faults = _FaultState()
+        return self._faults
+
+    def _maybe_clear_faults(self) -> None:
+        if self._faults is not None and self._faults.empty():
+            self._faults = None
+
+    def disrupt_node(self, name: str, mode: str = PARK) -> None:
+        """Cut every link touching ``name`` (region outage semantics).
+
+        ``mode=PARK`` holds affected deliveries until :meth:`restore_node`;
+        ``mode=DROP`` discards them.
+        """
+        if mode not in (PARK, DROP):
+            raise ValueError(f"unknown disruption mode {mode!r}")
+        self._fault_state().blocked_nodes[name] = mode
+
+    def restore_node(self, name: str) -> None:
+        """Lift a node outage and release its parked deliveries in order."""
+        faults = self._faults
+        if faults is None or faults.blocked_nodes.pop(name, None) is None:
+            return
+        self._release_parked(("node", name))
+
+    def disrupt_link(self, src: str, dst: str, mode: str = PARK,
+                     symmetric: bool = True) -> None:
+        """Cut the ``src -> dst`` link (and its reverse when ``symmetric``)."""
+        if mode not in (PARK, DROP):
+            raise ValueError(f"unknown disruption mode {mode!r}")
+        links = self._fault_state().blocked_links
+        links[(src, dst)] = mode
+        if symmetric:
+            links[(dst, src)] = mode
+
+    def restore_link(self, src: str, dst: str, symmetric: bool = True) -> None:
+        """Heal a link partition and release its parked deliveries in order."""
+        faults = self._faults
+        if faults is None:
+            return
+        if faults.blocked_links.pop((src, dst), None) is not None:
+            self._release_parked(("link", (src, dst)))
+        if symmetric and faults.blocked_links.pop((dst, src), None) is not None:
+            self._release_parked(("link", (dst, src)))
+        self._maybe_clear_faults()
+
+    def degrade_node(self, name: str, factor: float) -> None:
+        """Multiply the delay of every link touching ``name`` by ``factor``.
+
+        ``factor == 1.0`` removes the degradation (a heal).
+        """
+        if factor < 1.0:
+            raise ValueError("degradation factor must be >= 1")
+        if factor == 1.0:
+            faults = self._faults
+            if faults is not None:
+                faults.degraded_nodes.pop(name, None)
+                self._maybe_clear_faults()
+            return
+        self._fault_state().degraded_nodes[name] = factor
+
+    def degrade_link(self, src: str, dst: str, factor: float,
+                     symmetric: bool = True) -> None:
+        """Multiply the ``src -> dst`` delay by ``factor`` (1.0 heals)."""
+        if factor < 1.0:
+            raise ValueError("degradation factor must be >= 1")
+        keys = [(src, dst)] + ([(dst, src)] if symmetric else [])
+        faults = self._faults
+        if factor == 1.0:
+            if faults is not None:
+                for key in keys:
+                    faults.degraded_links.pop(key, None)
+                self._maybe_clear_faults()
+            return
+        links = self._fault_state().degraded_links
+        for key in keys:
+            links[key] = factor
+
+    def _intercept(self, src: str, dst: str, delay: float, fn, args):
+        """Apply active disruptions to one delivery.
+
+        Returns the (possibly degraded) delay, or ``None`` when the delivery
+        was parked or dropped and must not be scheduled by the caller.
+        """
+        faults = self._faults
+        blocked = faults.block_key(src, dst)
+        if blocked is not None:
+            mode, key = blocked
+            stats = self.stats
+            if mode == DROP:
+                stats.messages_dropped += 1
+            else:
+                stats.messages_parked += 1
+                faults.parked.setdefault(key, []).append((src, dst, delay, fn, args))
+            return None
+        return delay * faults.delay_factor(src, dst)
+
+    def _release_parked(self, key: Tuple) -> None:
+        faults = self._faults
+        entries = faults.parked.pop(key, None)
+        self._maybe_clear_faults()
+        if not entries:
+            return
+        env = self.env
+        for src, dst, delay, fn, args in entries:
+            # Re-deliver after one fresh link delay from the heal time: the
+            # sender's retransmission finally gets through.  Released entries
+            # go back through interception, so a delivery freed by one heal
+            # still honours any *other* disruption that remains active on its
+            # path (overlapping outages on different targets are legal).
+            if self._faults is not None:
+                delay = self._intercept(src, dst, delay, fn, args)
+                if delay is None:
+                    continue  # re-parked under (or dropped by) another fault
+            if delay == 0.0:
+                env._soon.append((fn, args))
+            else:
+                env.call_at(delay, fn, *args)
+
     # ------------------------------------------------------------- messaging
     def send(self, message: Message) -> float:
         """Deliver ``message`` after the one-way link delay; return the delay."""
@@ -132,6 +329,12 @@ class Network:
         # Allocation-free delivery: a bound method plus args instead of a
         # per-message closure.  Zero-delay links (self-sends and colocated
         # nodes) skip the heap entirely via the same-time microqueue.
+        if self._faults is not None:
+            adjusted = self._intercept(message.sender, message.recipient,
+                                       delay, self._deliver, (message, inbox))
+            if adjusted is None:
+                return delay  # parked or dropped; nominal delay for the stats
+            delay = adjusted
         if delay == 0.0:
             env._soon.append((self._deliver, (message, inbox)))
         else:
@@ -152,6 +355,15 @@ class Network:
             model = self.link_model(original.recipient, original.sender)
             delay = model.sample_one_way(self.env.now)
 
+        if self._faults is not None:
+            # Replies travel recipient -> sender and honour disruptions too:
+            # an RPC caught by an outage mid-flight stalls (or dies) on the
+            # reply leg exactly like a fresh message would.
+            delay = self._intercept(original.recipient, original.sender, delay,
+                                    self._fire_reply,
+                                    (original.reply_event, value))
+            if delay is None:
+                return
         if delay == 0.0:
             self.env._soon.append((self._fire_reply, (original.reply_event, value)))
         else:

@@ -118,7 +118,11 @@ class DataSource:
         # a wrapper generator would add a delegating frame to every resume of
         # every handler, which is the hottest path in the simulator.
         if self.crashed and message.msg_type != protocol.MSG_RESTART:
-            # A crashed node neither executes nor replies; callers block.
+            # A crashed *process* refuses connections immediately (the OS
+            # resets them), so callers fail fast and can abort/retry instead
+            # of blocking forever.  Silent loss is the semantics of a network
+            # outage, modelled separately by Network.disrupt_node/_link.
+            self._refuse_crashed(message)
             return
         self.stats.requests_handled += 1
         handler = self._handlers.get(message.msg_type) or self._on_unknown
@@ -130,6 +134,28 @@ class DataSource:
                                      "error": f"unknown verb {message.msg_type}"})
         return
         yield  # pragma: no cover - makes this a generator like real handlers
+
+    def _refuse_crashed(self, message: Message) -> None:
+        """Answer a request aimed at the crashed node with a refusal.
+
+        The reply shape matches what the verb's caller expects (a failed
+        :class:`~repro.common.SubtxnResult` for execute, a NO vote for
+        prepare, an error status otherwise) so coordinators abort the affected
+        transaction promptly instead of misparsing the refusal.
+        """
+        if message.reply_event is None:
+            return
+        if message.msg_type == protocol.MSG_EXECUTE:
+            payload = message.payload or {}
+            reply = SubtxnResult(
+                xid=payload.get("xid", "?"), datasource=self.name,
+                success=False, error="data source crashed",
+                abort_reason=AbortReason.UNAVAILABLE)
+        elif message.msg_type == protocol.MSG_XA_PREPARE:
+            reply = {"vote": Vote.NO, "error": "data source crashed"}
+        else:
+            reply = {"status": "error", "error": "data source crashed"}
+        self.net.reply(message, reply)
 
     def _handle(self, message: Message):
         """Handle one message (kept for direct use by tests/tools)."""
@@ -217,6 +243,18 @@ class DataSource:
 
             cost = dialect.write_cost_ms if is_write else dialect.read_cost_ms
             yield cost
+            if txn.state is not TxnState.ACTIVE:
+                # Aborted while the operation cost was being paid (peer abort
+                # or a coordinator-crash session kill): buffering the write
+                # now would resurrect a write set the abort already
+                # discarded, and success=True would misreport a dead branch.
+                self._reply(message, SubtxnResult(
+                    xid=xid, datasource=self.name, success=False,
+                    results=results, error="transaction aborted concurrently",
+                    abort_reason=AbortReason.PEER_ABORT,
+                    local_execution_ms=env.now - started,
+                    per_record_latency=per_record))
+                return
             stats.operations_executed += 1
             stats.busy_ms += cost
 
@@ -238,6 +276,17 @@ class DataSource:
             # branch is prepared before the reply so the caller's execution
             # round trip doubles as its prepare round trip.
             yield self.dialect.prepare_cost_ms
+            if txn.state is not TxnState.ACTIVE:
+                # Aborted while the prepare cost was being paid — same race
+                # as in _on_xa_prepare; report the failure instead of
+                # preparing a dead branch.
+                self._reply(message, SubtxnResult(
+                    xid=xid, datasource=self.name, success=False,
+                    results=results, error="transaction aborted concurrently",
+                    abort_reason=AbortReason.PEER_ABORT,
+                    local_execution_ms=env.now - started,
+                    per_record_latency=per_record))
+                return
             self.wal.append(LogRecordType.PREPARE, xid, self.env.now,
                             payload={"writes": len(self.engine.write_set(xid))})
             txn.mark_prepared()
@@ -269,6 +318,13 @@ class DataSource:
             return
         # Persist transaction state + WAL (the paper's prepare cost, Fig. 6c).
         yield self.dialect.prepare_cost_ms
+        if txn.state not in (TxnState.ACTIVE, TxnState.IDLE):
+            # The branch was rolled back while the prepare cost was being
+            # paid (peer abort, or its coordinator's sessions were killed by
+            # a crash): vote NO instead of resurrecting a finished branch.
+            self._reply(message, {"vote": Vote.NO,
+                                  "error": "transaction not preparable"})
+            return
         self.wal.append(LogRecordType.PREPARE, xid, self.env.now,
                         payload={"writes": len(self.engine.write_set(xid))})
         txn.mark_prepared()
@@ -320,6 +376,11 @@ class DataSource:
             self._reply(message, {"status": "error", "error": "not committable"})
             return
         yield self.dialect.commit_cost_ms
+        if txn.is_finished:
+            # Aborted (e.g. coordinator-crash session kill) while the commit
+            # cost was being paid: the branch's outcome already stuck.
+            self._reply(message, {"status": "error", "error": "not committable"})
+            return
         self.engine.commit_writes(xid)
         self.wal.append(LogRecordType.COMMIT, xid, self.env.now)
         txn.mark_committed_one_phase(self.env.now)
@@ -342,6 +403,24 @@ class DataSource:
         self.stats.aborts += 1
 
     # --------------------------------------------------------------- recovery
+    def kill_sessions(self, global_txn_prefix: str) -> int:
+        """Abort unfinished, unprepared branches of one coordinator's sessions.
+
+        When a middleware crashes, the database server sees its connections
+        drop and rolls back their in-progress (not yet prepared) branches —
+        prepared branches survive for recovery, exactly as in §V-A.  Branch
+        ownership is recognised by the global-transaction-id prefix the
+        middleware stamps on every branch.  Returns the number of branches
+        rolled back.
+        """
+        killed = 0
+        for txn in list(self.transactions.values()):
+            if (txn.state in (TxnState.ACTIVE, TxnState.IDLE)
+                    and txn.global_txn_id.startswith(global_txn_prefix)):
+                self._rollback_lost_branch(txn)
+                killed += 1
+        return killed
+
     def _on_list_prepared(self, message: Message):
         yield self.config.request_overhead_ms
         prepared = [xid for xid, txn in self.transactions.items()
@@ -354,15 +433,24 @@ class DataSource:
         txn = self.transactions.get(xid)
         self._reply(message, {"state": txn.state.value if txn else "unknown"})
 
+    def _rollback_lost_branch(self, txn: LocalTransaction) -> None:
+        """Drop an unfinished, unprepared branch whose work is lost.
+
+        Shared by the node-crash sweep and :meth:`kill_sessions`: no WAL
+        record and no ``stats.aborts`` bump — crash-lost work is not a served
+        abort, and the two fault kinds must account identically.
+        """
+        self.engine.discard_writes(txn.xid)
+        txn.mark_aborted(self.env.now)
+        self.lock_manager.release_all(txn.xid)
+
     def _on_crash(self, message: Message):
         """Crash the node: in-flight work is lost, non-prepared branches abort."""
         yield self.env.timeout(0)
         self.crashed = True
         for txn in list(self.transactions.values()):
             if txn.state in (TxnState.ACTIVE, TxnState.IDLE):
-                self.engine.discard_writes(txn.xid)
-                txn.mark_aborted(self.env.now)
-                self.lock_manager.release_all(txn.xid)
+                self._rollback_lost_branch(txn)
         self._reply(message, {"status": "crashed"})
 
     def _on_restart(self, message: Message):

@@ -47,6 +47,16 @@ def test_plugin_scenarios_appear_in_the_default_listing(capsys):
     assert "static_vs_adaptive" in out
 
 
+def test_list_markdown_emits_the_registry_tables(capsys):
+    from repro.bench.report import registry_markdown
+
+    assert main(["list", "--markdown"]) == 0
+    out = capsys.readouterr().out
+    assert out == registry_markdown()
+    assert "#### Scenarios" in out and "#### Workloads" in out
+    assert "| `fault_region_outage` |" in out
+
+
 def test_run_unknown_scenario_fails_with_message(capsys):
     assert main(["run", "nope"]) == 2
     assert "unknown scenario" in capsys.readouterr().err

@@ -1,0 +1,68 @@
+"""The committed EXPERIMENTS.md registry tables must match the live registries.
+
+``python -m repro.bench list --markdown`` is the single source of the
+scenario/system/workload tables; EXPERIMENTS.md commits its output between
+marker comments.  This test (and the CI drift step, which runs the same
+comparison from the shell) fails whenever a registration lands without the
+doc refresh — killing table drift:
+
+    PYTHONPATH=src python -c "from repro.bench.report import \\
+        update_registry_block; update_registry_block('EXPERIMENTS.md')"
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.report import (
+    extract_registry_block,
+    format_markdown_table,
+    registry_markdown,
+    update_registry_block,
+)
+from repro.bench.scenarios import scenario_names
+from repro.plugins import system_names, workload_names
+
+EXPERIMENTS_MD = Path(__file__).resolve().parents[2] / "EXPERIMENTS.md"
+
+
+def test_committed_registry_tables_match_the_live_registries():
+    committed = extract_registry_block(EXPERIMENTS_MD.read_text(encoding="utf-8"))
+    fresh = registry_markdown()
+    assert committed == fresh, (
+        "EXPERIMENTS.md registry tables are stale; regenerate with\n"
+        "  PYTHONPATH=src python -c \"from repro.bench.report import "
+        "update_registry_block; update_registry_block('EXPERIMENTS.md')\"")
+
+
+def test_markdown_block_lists_every_registration():
+    block = registry_markdown()
+    for name in scenario_names():
+        assert f"`{name}`" in block
+    for name in system_names():
+        assert f"`{name}`" in block
+    for name in workload_names():
+        assert f"`{name}`" in block
+
+
+def test_update_registry_block_roundtrip(tmp_path):
+    doc = tmp_path / "doc.md"
+    from repro.bench.report import REGISTRY_BLOCK_BEGIN, REGISTRY_BLOCK_END
+    doc.write_text(f"prefix\n\n{REGISTRY_BLOCK_BEGIN}\nstale\n"
+                   f"{REGISTRY_BLOCK_END}\n\nsuffix\n", encoding="utf-8")
+    assert update_registry_block(str(doc)) is True        # replaced stale text
+    assert update_registry_block(str(doc)) is False       # now a no-op
+    text = doc.read_text(encoding="utf-8")
+    assert text.startswith("prefix")
+    assert text.endswith("suffix\n")
+    assert extract_registry_block(text) == registry_markdown()
+
+
+def test_extract_registry_block_requires_markers():
+    with pytest.raises(ValueError):
+        extract_registry_block("no markers here")
+
+
+def test_markdown_table_escapes_pipes():
+    table = format_markdown_table(("a",), [("x|y",)])
+    assert "x\\|y" in table

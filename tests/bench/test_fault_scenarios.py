@@ -1,0 +1,126 @@
+"""The registered fault scenario family: determinism pins and sanity bands.
+
+Two properties per scenario:
+
+* **Same-seed byte-determinism** — a fault run is still a deterministic
+  simulation: the same config (fault plan included) must produce the exact
+  same summary twice, latency digest and fault report included.
+* **Post-recovery sanity band** — the fault run's committed count must land
+  within a band of the fault-free run minus the outage window
+  (:func:`repro.recovery.failures.post_recovery_band`): faults must bite, but
+  the system must come back.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.bench.parallel import SweepRunner
+from repro.bench.scenarios import (
+    FAULT_SYSTEMS,
+    fault_window,
+    get_scenario,
+)
+from repro.recovery.failures import post_recovery_band
+
+FAULT_SCENARIOS = ("fault_middleware_crash", "fault_ds_crash",
+                   "fault_region_outage", "fault_latency_spike")
+
+#: Reduced scale shared by every test here: 4 s simulated, light tables.
+SCALE = dict(duration_ms=4_000.0, warmup_ms=800.0, terminals=6,
+             ycsb__records_per_node=1_000, ycsb__preload_rows_per_node=200)
+
+
+def run_point(scenario_name, system, seed=0, fault_free=False):
+    scenario = get_scenario(scenario_name)
+    sweep = scenario.sweep(axes={"system": (system,)}, seed=seed, **SCALE)
+    points = sweep.points()
+    assert len(points) == 1
+    config = points[0].config
+    if fault_free:
+        config.fault_plan = None
+    from repro.bench.runner import run_experiment
+    return run_experiment(config)
+
+
+def digest(result):
+    samples = list(result.latency.samples)
+    return {
+        "committed": result.committed,
+        "aborted": result.aborted,
+        "abort_reasons": result.collector.abort_reasons(),
+        "latency_sha256": hashlib.sha256(repr(samples).encode()).hexdigest(),
+        "faults": result.faults,
+    }
+
+
+# ---------------------------------------------------------------- registration
+def test_fault_scenarios_are_registered_with_geotp_and_two_baselines():
+    assert len(FAULT_SYSTEMS) >= 3
+    assert "geotp" in FAULT_SYSTEMS
+    for name in FAULT_SCENARIOS:
+        scenario = get_scenario(name)
+        (system_axis,) = [axis for axis in scenario.axes
+                          if axis.name == "system"]
+        assert system_axis.values == FAULT_SYSTEMS
+
+
+def test_fault_window_scales_with_duration():
+    at, dur = fault_window(10_000.0)
+    assert at == 4_000.0 and dur == 1_500.0
+    at_small, dur_small = fault_window(4_000.0)
+    assert at_small == 1_600.0 and dur_small == 600.0
+
+
+def test_fault_plan_is_derived_per_point_and_stays_inside_the_run():
+    for name in FAULT_SCENARIOS:
+        sweep = get_scenario(name).sweep(**SCALE)
+        for point in sweep.points():
+            plan = point.config.fault_plan
+            assert plan is not None
+            for event in plan.events:
+                assert event.at_ms >= point.config.warmup_ms
+                assert event.at_ms + event.duration_ms < point.config.duration_ms
+
+
+# ----------------------------------------------------------------- determinism
+@pytest.mark.parametrize("scenario_name", FAULT_SCENARIOS)
+@pytest.mark.parametrize("system", ("ssp", "geotp"))
+def test_same_seed_fault_runs_are_byte_identical(scenario_name, system):
+    first = digest(run_point(scenario_name, system, seed=11))
+    second = digest(run_point(scenario_name, system, seed=11))
+    assert first == second
+
+
+def test_fault_sweep_results_identical_serial_and_parallel():
+    """The fault report must survive pickling across pool workers unchanged."""
+    sweep = get_scenario("fault_ds_crash").sweep(
+        axes={"system": ("ssp", "geotp")}, **SCALE)
+    serial = SweepRunner(max_workers=1).run(sweep)
+    pooled = SweepRunner(max_workers=2).run(sweep)
+    for left, right in zip(serial.summaries(), pooled.summaries()):
+        assert left.to_dict() == right.to_dict()
+
+
+# ---------------------------------------------------------------- sanity bands
+@pytest.mark.parametrize("scenario_name", FAULT_SCENARIOS)
+def test_post_recovery_commits_within_band_of_fault_free_run(scenario_name):
+    faulted = run_point(scenario_name, "geotp", seed=3)
+    fault_free = run_point(scenario_name, "geotp", seed=3, fault_free=True)
+    assert fault_free.faults is None and faulted.faults is not None
+
+    measured_ms = 4_000.0 - 800.0
+    outage_ms = sum(end - start
+                    for start, end in ((e["at_ms"], e["at_ms"] + e["duration_ms"])
+                                       for e in faulted.faults["plan"]))
+    lo, hi = post_recovery_band(fault_free.committed, measured_ms, outage_ms,
+                                slack=0.35)
+    assert lo <= faulted.committed <= hi, (
+        f"{scenario_name}: committed {faulted.committed} outside "
+        f"[{lo:.1f}, {hi:.1f}] (fault-free {fault_free.committed}, "
+        f"outage {outage_ms:.0f}ms of {measured_ms:.0f}ms)")
+
+    # And the service is back by the end of the run: the last second commits.
+    series = faulted.faults["availability"]["series"]
+    assert sum(committed for start, committed, _ in series
+               if start >= 3_000.0) > 0, f"{scenario_name} never recovered"

@@ -183,6 +183,90 @@ def test_datasource_crash_loses_unprepared_work_and_siblings_roll_back():
     assert datasources["ds1"].engine.read("p", "usertable", 7).value == {"v": 0}
 
 
+def test_datasource_crash_with_sibling_mid_prepare_rolls_back_every_branch():
+    """Decision-log-absent path: ALL siblings roll back, whatever their state.
+
+    The transaction spans three data sources: its branch on ds0 had executed
+    but not prepared when ds0 crashed (lost), the sibling on ds1 is PREPARED,
+    and the sibling on ds2 is still ACTIVE — caught mid-prepare.  With no
+    logged decision the transaction can never have entered the commit phase
+    (AC3/AC4), so recovery must roll back the prepared *and* the active
+    sibling, not just the branch on the crashed node.
+    """
+    env, net, dm, datasources, injector = build_cluster(rtts=(10.0, 50.0, 100.0))
+    for name in ("ds0", "ds1", "ds2"):
+        net.set_link("manual-client", name, ConstantLatency(1))
+    client = net.interface("manual-client")
+    progress = {}
+
+    def driver():
+        # ds1: prepared sibling.
+        yield client.request("ds1", protocol.MSG_XA_START, {"xid": "dm-t95.2"})
+        yield client.request("ds1", protocol.MSG_EXECUTE,
+                             {"xid": "dm-t95.2", "operations": [update(10, 7)]})
+        yield client.request("ds1", protocol.MSG_XA_PREPARE, {"xid": "dm-t95.2"})
+        # ds2: active sibling (its XA PREPARE never arrived).
+        yield client.request("ds2", protocol.MSG_XA_START, {"xid": "dm-t95.3"})
+        yield client.request("ds2", protocol.MSG_EXECUTE,
+                             {"xid": "dm-t95.3", "operations": [update(11, 7)]})
+        # ds0: executed-only branch, then the node crashes and restarts.
+        yield client.request("ds0", protocol.MSG_XA_START, {"xid": "dm-t95.1"})
+        yield client.request("ds0", protocol.MSG_EXECUTE,
+                             {"xid": "dm-t95.1", "operations": [update(9, 7)]})
+        yield from injector.crash_datasource(datasources["ds0"])
+        yield from injector.restart_datasource(datasources["ds0"])
+        manager = RecoveryManager(dm)
+        report = yield from manager.recover_after_datasource_crash(
+            "ds0", {"ds0": ["dm-t95.1"], "ds1": ["dm-t95.2"],
+                    "ds2": ["dm-t95.3"]})
+        progress["report"] = report
+
+    env.process(driver())
+    env.run()
+
+    report = progress["report"]
+    assert sorted(report.rolled_back) == [
+        "ds0:dm-t95.1", "ds1:dm-t95.2", "ds2:dm-t95.3"]
+    assert report.committed == []
+    for name, branch, key in (("ds0", "dm-t95.1", 9), ("ds1", "dm-t95.2", 10),
+                              ("ds2", "dm-t95.3", 11)):
+        assert datasources[name].transactions[branch].state is TxnState.ABORTED
+        # No sibling's write ever became visible (AC1).
+        assert datasources[name].engine.read("p", "usertable", key).value == {"v": 0}
+
+
+def test_resolve_in_doubt_skips_live_and_foreign_transactions():
+    """Targeted recovery must not decide what it does not own.
+
+    ``skip_global_ids`` protects transactions whose coordinator is alive and
+    mid-prepare; ``owned_prefix`` protects another middleware's branches —
+    this decision log knows nothing about either, so rolling them back (the
+    no-decision default) would wreck healthy work.
+    """
+    env, net, dm, datasources, injector = build_cluster()
+    net.set_link("manual-client", "ds0", ConstantLatency(1))
+
+    prepare_branch_by_hand(env, net, "ds0", "dm-t96.1", 12)   # in doubt: ours
+    prepare_branch_by_hand(env, net, "ds0", "dm-t97.1", 13)   # live coordinator
+    prepare_branch_by_hand(env, net, "ds0", "dm2-t5.1", 14)   # other middleware
+
+    manager = RecoveryManager(dm)
+    holder = {}
+
+    def recover():
+        holder["report"] = yield from manager.resolve_in_doubt(
+            participant_names=["ds0"], skip_global_ids=["dm-t97"],
+            owned_prefix="dm-")
+
+    env.process(recover())
+    env.run()
+
+    assert holder["report"].rolled_back == ["ds0:dm-t96.1"]
+    assert datasources["ds0"].transactions["dm-t96.1"].state is TxnState.ABORTED
+    assert datasources["ds0"].transactions["dm-t97.1"].state is TxnState.PREPARED
+    assert datasources["ds0"].transactions["dm2-t5.1"].state is TxnState.PREPARED
+
+
 def test_recovery_is_idempotent():
     """Running recovery twice must not change outcomes (AC2: decisions stick)."""
     env, net, dm, datasources, injector = build_cluster()

@@ -226,20 +226,37 @@ def test_crash_aborts_active_but_keeps_prepared_transactions():
     assert ds.engine.read("p", "usertable", "b").value == 2
 
 
-def test_crashed_node_does_not_reply_until_restart():
+def test_crashed_node_refuses_requests_until_restart():
+    """A crashed *process* refuses connections instead of staying silent.
+
+    (Silence is the semantics of a network outage — ``Network.disrupt_node`` —
+    not of a dead server process, whose OS resets incoming connections.)  The
+    refusal shape matches what each verb's caller expects so coordinators can
+    abort promptly: a failed SubtxnResult for execute, a NO vote for prepare,
+    an error status otherwise.
+    """
     env, net, ds, client = make_datasource()
-    log = []
+    log = {}
 
     def coordinator():
         yield client.request("ds1", protocol.MSG_CRASH, {})
-        ping = client.request("ds1", protocol.MSG_PING, {})
-        timeout = env.timeout(200, value="timed_out")
-        result = yield env.any_of([ping, timeout])
-        log.append("timed_out" if timeout in result else "replied")
+        log["ping"] = yield client.request("ds1", protocol.MSG_PING, {})
+        log["execute"] = yield client.request(
+            "ds1", protocol.MSG_EXECUTE,
+            {"xid": "x9", "operations": [write_op("a", 1)], "auto_start": True})
+        log["prepare"] = yield client.request("ds1", protocol.MSG_XA_PREPARE,
+                                              {"xid": "x9"})
+        yield client.request("ds1", protocol.MSG_RESTART, {})
+        log["after"] = yield client.request("ds1", protocol.MSG_PING, {})
 
     env.process(coordinator())
     env.run(until=1000)
-    assert log == ["timed_out"]
+    assert log["ping"]["status"] == "error"
+    assert not log["execute"].success
+    assert log["execute"].abort_reason is AbortReason.UNAVAILABLE
+    assert "x9" not in ds.transactions  # the refusal never opened a branch
+    assert log["prepare"]["vote"] is Vote.NO
+    assert log["after"]["status"] == "ok"  # restart restores normal service
 
 
 def test_kv_interface_get_put_and_conditional_put():
