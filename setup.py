@@ -2,9 +2,40 @@
 
 The project metadata lives in ``pyproject.toml``; this file exists so that the
 package can be installed editable on environments whose setuptools/pip lack
-PEP 660 support (``pip install -e . --no-build-isolation``).
+PEP 660 support (``pip install -e . --no-build-isolation``) and to host the
+*optional* mypyc build of the engine core.
+
+The compiled core is opt-in twice over: it builds only when
+``REPRO_BUILD_MYPYC=1`` is set, and even then a missing mypy/mypyc degrades to
+a pure-Python install with a notice rather than an error (the pure kernel in
+``repro/sim/_kernel`` is the source of truth; ``REPRO_ENGINE=auto`` picks the
+compiled core only when it exists).  ``python tools/build_compiled.py`` is the
+richer front door — it also verifies the build against the pure engine.
 """
+
+import os
+import sys
+from pathlib import Path
 
 from setuptools import setup
 
-setup()
+ext_modules = []
+if os.environ.get("REPRO_BUILD_MYPYC") == "1":
+    sys.path.insert(0, str(Path(__file__).resolve().parent / "tools"))
+    from build_compiled import load_mypyc_config, mypyc_importable, stage_sources
+
+    if not mypyc_importable():
+        print("notice: REPRO_BUILD_MYPYC=1 but mypyc is not installed; "
+              "installing with the pure-Python engine only", file=sys.stderr)
+    else:
+        from mypyc.build import mypycify
+
+        config = load_mypyc_config()
+        staged = stage_sources(list(config["modules"]))
+        ext_modules = mypycify(
+            [str(path) for path in staged],
+            opt_level=str(config.get("opt_level", "3")),
+            debug_level=str(config.get("debug_level", "1")),
+        )
+
+setup(ext_modules=ext_modules)

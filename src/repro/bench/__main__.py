@@ -14,11 +14,17 @@ compares against the committed ``BENCH_baseline.json``.  Examples::
     PYTHONPATH=src python -m repro.bench run fig5_overall \\
         --duration-ms 5000 --terminals 16 --workers 4 --output fig5.json
     PYTHONPATH=src python -m repro.bench perf --quick --output BENCH_ci.json
+    PYTHONPATH=src python -m repro.bench perf --quick --profile --output BENCH_ci.json
     PYTHONPATH=src python -m repro.bench perf --compare BENCH_a.json BENCH_b.json
+    PYTHONPATH=src python -m repro.bench engine
+    REPRO_ENGINE=compiled PYTHONPATH=src python -m repro.bench perf --quick
 
 Measurement runs append one line each to ``BENCH_history.jsonl`` (see
 ``--history`` / ``--no-history``); ``perf --compare`` diffs two BENCH
-documents without measuring anything.
+documents without measuring anything and warns when the two were recorded on
+different interpreters, platforms or engines.  Every measurement document
+carries the ``engine`` (pure or mypyc-compiled kernel, selected by
+``REPRO_ENGINE``) it ran on; ``engine`` prints this process's selection.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from repro.bench.parallel import SweepRunner, SweepResult
 from repro.bench.report import registry_markdown, system_capabilities
 from repro.bench.scenarios import SCENARIOS, get_scenario, scenario_names
 from repro.plugins import system_plugins, workload_plugins
+from repro.sim.engine import active_engine, engine_info
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -100,6 +107,19 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--require-baseline", action="store_true",
                       help="fail (exit 1) when the baseline file cannot be "
                            "loaded instead of just warning (used by CI)")
+    perf.add_argument("--profile", action="store_true",
+                      help="cProfile each scenario once after timing it and "
+                           "record the hottest functions (a `profiles` section "
+                           "in the document, plus a text table next to the "
+                           "--output file)")
+    perf.add_argument("--profile-top", type=int,
+                      default=perf_mod.DEFAULT_PROFILE_TOP_N,
+                      help="number of functions per profile table "
+                           f"(default: {perf_mod.DEFAULT_PROFILE_TOP_N})")
+
+    commands.add_parser(
+        "engine", help="report the simulation engine selection of this "
+                       "process (REPRO_ENGINE) as JSON")
     return parser
 
 
@@ -142,6 +162,7 @@ def _run_list(args: argparse.Namespace) -> int:
 def _result_document(result: SweepResult) -> dict:
     return {
         "scenario": result.sweep_name,
+        "engine": active_engine(),
         "workers": result.workers,
         "points": len(result),
         "wall_clock_s": round(result.wall_clock_s, 3),
@@ -208,9 +229,13 @@ def _compare_documents(args: argparse.Namespace) -> int:
         return 2
     rows = perf_mod.compare_documents(doc_a, doc_b)
     print(perf_mod.format_comparison(rows, labels=("A", "B")))
-    print(f"\nA = {path_a} (tag {doc_a.get('tag', '?')}), "
-          f"B = {path_b} (tag {doc_b.get('tag', '?')}); "
+    print(f"\nA = {path_a} (tag {doc_a.get('tag', '?')}, "
+          f"engine {doc_a.get('engine', '?')}), "
+          f"B = {path_b} (tag {doc_b.get('tag', '?')}, "
+          f"engine {doc_b.get('engine', '?')}); "
           "speedup > 1 means B is faster", file=sys.stderr)
+    for warning in perf_mod.document_metadata_mismatches(doc_a, doc_b):
+        print(f"warning: {warning}", file=sys.stderr)
     return 0
 
 
@@ -219,7 +244,8 @@ def _run_perf(args: argparse.Namespace) -> int:
         conflicting = [flag for flag, value in (
             ("--scenarios", args.scenarios), ("--quick", args.quick),
             ("--output", args.output), ("--update-baseline", args.update_baseline),
-            ("--require-baseline", args.require_baseline)) if value]
+            ("--require-baseline", args.require_baseline),
+            ("--profile", args.profile)) if value]
         if conflicting:
             # --compare measures nothing; silently ignoring measurement
             # flags would leave e.g. an expected --output file unwritten.
@@ -233,6 +259,8 @@ def _run_perf(args: argparse.Namespace) -> int:
         names = list(perf_mod.QUICK_SUITE)
     else:
         names = list(perf_mod.FULL_SUITE)
+    print(f"engine: {active_engine()} "
+          f"(REPRO_ENGINE={engine_info()['requested']})", file=sys.stderr)
     try:
         for name in names:
             get_scenario(name)  # fail fast on unknown names
@@ -240,6 +268,10 @@ def _run_perf(args: argparse.Namespace) -> int:
             names, repeats=args.repeats, max_workers=args.workers, tag=args.tag,
             baseline_path=None if args.update_baseline else args.baseline,
             threshold=args.threshold)
+        if args.profile:
+            document["profiles"] = [
+                perf_mod.profile_scenario(name, top_n=args.profile_top)
+                for name in names]
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
@@ -264,6 +296,19 @@ def _run_perf(args: argparse.Namespace) -> int:
         print(f"wrote perf document to {args.output}", file=sys.stderr)
     elif not args.update_baseline:
         print(rendered)
+    if args.profile:
+        tables = "\n\n".join(perf_mod.format_profile(profile)
+                             for profile in document["profiles"])
+        if args.output:
+            # The human-readable twin of the `profiles` section, next to the
+            # BENCH json: BENCH_ci.json -> BENCH_ci.profile.txt.
+            stem = args.output[:-5] if args.output.endswith(".json") else args.output
+            profile_path = stem + ".profile.txt"
+            with open(profile_path, "w", encoding="utf-8") as handle:
+                handle.write(tables + "\n")
+            print(f"wrote profile tables to {profile_path}", file=sys.stderr)
+        else:
+            print(tables, file=sys.stderr)
     baseline_error = document.get("baseline_error")
     if baseline_error is not None:
         print(f"warning: {baseline_error}", file=sys.stderr)
@@ -286,6 +331,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_list(args)
     if args.command == "perf":
         return _run_perf(args)
+    if args.command == "engine":
+        print(json.dumps(engine_info(), indent=2, sort_keys=True))
+        return 0
     return _run_scenario(args)
 
 

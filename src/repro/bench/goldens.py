@@ -1,0 +1,200 @@
+"""Shared golden-pin configurations and snapshot helpers.
+
+The byte-identical golden pins and the same-seed determinism checks live in
+``tests/``, but the *configurations* they pin are defined here so that the
+same runs can be reproduced outside an in-process pytest session — in
+particular under the **other** engine: the simulation engine (pure vs
+mypyc-compiled kernel) is selected once per process at import time, so
+checking "the compiled engine reproduces the pure pins byte for byte" requires
+a fresh interpreter with ``REPRO_ENGINE`` set.  The module doubles as that
+subprocess entry point::
+
+    REPRO_ENGINE=compiled python -m repro.bench.goldens snapshot contended_geotp
+    REPRO_ENGINE=compiled python -m repro.bench.goldens determinism
+    REPRO_ENGINE=compiled python -m repro.bench.goldens equivalence \
+        --reference tests/bench/data/equivalence_reference.json
+
+Every subcommand prints a single JSON document on stdout; the engine that
+produced it is always included so a harness can assert it really ran where it
+intended to.  All snapshot values are plain JSON scalars (floats survive the
+dump/load round trip exactly), so byte-identity of two engines' snapshots can
+be asserted across the process boundary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.bench.runner import ExperimentConfig, run_experiment
+from repro.sim.engine import active_engine
+from repro.workloads.ycsb import YCSBConfig
+
+
+def golden_snapshot(config: ExperimentConfig) -> Dict[str, Any]:
+    """Run one experiment and reduce it to the golden-pin summary dict.
+
+    ``latency_sha256`` digests every latency sample, so two snapshots are
+    equal only if the runs were bit-identical.
+    """
+    result = run_experiment(config)
+    latency = result.latency
+    samples = list(latency.samples)
+    return {
+        "throughput_tps": result.throughput_tps,
+        "committed": result.committed,
+        "aborted": result.aborted,
+        "average_latency_ms": result.average_latency_ms,
+        "p50": latency.p50 if len(latency) else None,
+        "p99": latency.p99 if len(latency) else None,
+        "abort_rate": result.abort_rate,
+        "abort_reasons": result.collector.abort_reasons(),
+        "n_samples": len(samples),
+        "latency_sha256": hashlib.sha256(repr(samples).encode()).hexdigest(),
+    }
+
+
+# ------------------------------------------------------- pinned configurations
+def contended_config(system: str) -> ExperimentConfig:
+    """The high-contention pin: lock waits, timeouts and admission aborts."""
+    return ExperimentConfig(
+        system=system, terminals=24, duration_ms=9_000.0, warmup_ms=1_000.0,
+        ycsb=YCSBConfig(skew=1.1, distributed_ratio=0.5,
+                        records_per_node=100, preload_rows_per_node=100),
+        seed=7)
+
+
+def scale_config() -> ExperimentConfig:
+    """The medium-scale pin: heap compaction and lock-timer churn territory."""
+    return ExperimentConfig(
+        system="geotp", terminals=32, duration_ms=10_000.0, warmup_ms=1_000.0,
+        ycsb=YCSBConfig(skew=0.9, distributed_ratio=0.2))
+
+
+def determinism_config() -> ExperimentConfig:
+    """The same-seed byte-determinism check (tests/sim/test_fast_paths.py)."""
+    return ExperimentConfig(
+        system="geotp", terminals=8, duration_ms=3_000.0, warmup_ms=500.0,
+        ycsb=YCSBConfig(skew=1.0, distributed_ratio=0.5,
+                        records_per_node=100, preload_rows_per_node=100),
+        seed=13)
+
+
+def smoke_snapshots() -> Dict[str, Dict[str, Any]]:
+    """Per-system snapshots of the registered ``smoke`` scenario."""
+    from repro.bench.scenarios import get_scenario
+
+    return {point.params["system"]: golden_snapshot(point.config)
+            for point in get_scenario("smoke").sweep().points()}
+
+
+#: Named golden runs; each produces one snapshot dict.
+GOLDEN_RUNS = {
+    "contended_geotp": lambda: golden_snapshot(contended_config("geotp")),
+    "contended_ssp": lambda: golden_snapshot(contended_config("ssp")),
+    "scale": lambda: golden_snapshot(scale_config()),
+}
+
+
+def run_named(name: str) -> Dict[str, Any]:
+    """Evaluate one named golden run (``smoke`` yields a per-system dict)."""
+    if name == "smoke":
+        return smoke_snapshots()
+    try:
+        runner = GOLDEN_RUNS[name]
+    except KeyError:
+        raise KeyError(f"unknown golden run {name!r}; choose one of "
+                       f"{['smoke', *GOLDEN_RUNS]}") from None
+    return runner()
+
+
+# ------------------------------------------------- command document builders
+def snapshot_document(name: str) -> Dict[str, Any]:
+    """The ``snapshot`` subcommand's JSON document, built in-process."""
+    return {"engine": active_engine(), "name": name, "snapshot": run_named(name)}
+
+
+def determinism_document() -> Dict[str, Any]:
+    """The ``determinism`` subcommand's JSON document, built in-process."""
+    from repro.bench.equivalence import snapshot
+
+    first = snapshot(determinism_config())
+    second = snapshot(determinism_config())
+    return {"engine": active_engine(), "identical": first == second,
+            "first": first, "second": second}
+
+
+def equivalence_document(reference_path: str,
+                         case_names: Optional[List[str]] = None
+                         ) -> Dict[str, Any]:
+    """The ``equivalence`` subcommand's JSON document, built in-process."""
+    from repro.bench.equivalence import CASES, load_reference, run_equivalence
+
+    cases = CASES
+    if case_names:
+        by_name = {case.name: case for case in CASES}
+        unknown = [name for name in case_names if name not in by_name]
+        if unknown:
+            raise KeyError(f"unknown equivalence case(s) {unknown}; "
+                           f"registered: {sorted(by_name)}")
+        cases = tuple(by_name[name] for name in case_names)
+    report = run_equivalence(load_reference(reference_path), cases)
+    return {"engine": active_engine(), "ok": report.ok,
+            "cases": [case.name for case in cases],
+            "violations": report.violations}
+
+
+# -------------------------------------------------------------- CLI plumbing
+def _cmd_snapshot(args: argparse.Namespace) -> Dict[str, Any]:
+    return snapshot_document(args.name)
+
+
+def _cmd_determinism(args: argparse.Namespace) -> Dict[str, Any]:
+    return determinism_document()
+
+
+def _cmd_equivalence(args: argparse.Namespace) -> Dict[str, Any]:
+    return equivalence_document(args.reference, args.cases)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.goldens",
+        description="Reproduce the golden-pin runs in this process's engine "
+                    "(select it with REPRO_ENGINE) and print JSON.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    snap = commands.add_parser("snapshot", help="evaluate one named golden run")
+    snap.add_argument("name", choices=["smoke", *GOLDEN_RUNS])
+    snap.set_defaults(fn=_cmd_snapshot)
+
+    determinism = commands.add_parser(
+        "determinism", help="run the same-seed config twice and compare")
+    determinism.set_defaults(fn=_cmd_determinism)
+
+    equivalence = commands.add_parser(
+        "equivalence", help="run the statistical-equivalence checks")
+    equivalence.add_argument("--reference", required=True,
+                             help="reference JSON captured on the "
+                                  "ordering-strict engine")
+    equivalence.add_argument("--cases", nargs="+", default=None,
+                             help="subset of registered case names "
+                                  "(default: all)")
+    equivalence.set_defaults(fn=_cmd_equivalence)
+
+    args = parser.parse_args(argv)
+    try:
+        document = args.fn(args)
+    except (KeyError, OSError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    print(json.dumps(document, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -25,7 +25,9 @@ Methodology notes
 
 from __future__ import annotations
 
+import cProfile
 import json
+import pstats
 import resource
 import sys
 import time
@@ -34,6 +36,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.parallel import SweepRunner
 from repro.bench.scenarios import get_scenario
+from repro.sim.engine import active_engine
 
 #: Scenarios timed by ``perf --quick`` (the CI gate).
 QUICK_SUITE = ("smoke", "perf_scale")
@@ -197,6 +200,7 @@ def build_document(tag: str, metrics: Sequence[PerfMetrics],
         "tag": tag,
         "python": sys.version.split()[0],
         "platform": sys.platform,
+        "engine": active_engine(),
         "threshold": threshold,
         "metrics": [m.to_dict() for m in metrics],
     }
@@ -252,6 +256,7 @@ def append_history(document: Dict[str, Any],
         "tag": document.get("tag", "local"),
         "python": document.get("python"),
         "platform": document.get("platform"),
+        "engine": document.get("engine"),
         "metrics": {
             metric["scenario"]: {
                 "wall_clock_s": metric["wall_clock_s"],
@@ -275,7 +280,96 @@ def load_history(path: str = DEFAULT_HISTORY) -> List[Dict[str, Any]]:
         return []
 
 
+# ------------------------------------------------------------------- profile
+#: Profile rows reported per scenario (sorted by cumulative time).
+DEFAULT_PROFILE_TOP_N = 25
+
+
+def profile_scenario(name: str, top_n: int = DEFAULT_PROFILE_TOP_N,
+                     **overrides: Any) -> Dict[str, Any]:
+    """cProfile one serial pass of a scenario; returns the top-N hot functions.
+
+    The sweep runs in-process (profiling a worker pool would only profile the
+    dispatch loop), sorted by *cumulative* time so the engine's dispatch and
+    resume frames surface even when their self-time is spread across callees.
+    The result is JSON-serialisable and lands in the ``profiles`` section of
+    the BENCH document next to the timing metrics, so hot-kernel claims are
+    measured rather than asserted.
+    """
+    if top_n < 1:
+        raise ValueError("top_n must be >= 1")
+    sweep = get_scenario(name).sweep(**overrides)
+    runner = SweepRunner(max_workers=1)
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    runner.run(sweep)
+    profiler.disable()
+    wall = time.perf_counter() - started
+    stats = pstats.Stats(profiler)
+    rows: List[Dict[str, Any]] = []
+    ranked = sorted(stats.stats.items(),  # type: ignore[attr-defined]
+                    key=lambda item: item[1][3], reverse=True)
+    for (filename, lineno, funcname), (cc, nc, tt, ct, _callers) in ranked[:top_n]:
+        rows.append({
+            "function": f"{filename}:{lineno}({funcname})",
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime_s": round(tt, 5),
+            "cumtime_s": round(ct, 5),
+        })
+    return {
+        "scenario": name,
+        "engine": active_engine(),
+        "sort": "cumulative",
+        "top_n": top_n,
+        "wall_clock_s": round(wall, 5),
+        "rows": rows,
+    }
+
+
+def format_profile(profile: Dict[str, Any]) -> str:
+    """Render one :func:`profile_scenario` result as an aligned text table."""
+    header = (f"{'cumtime s':>10} {'tottime s':>10} {'ncalls':>12}  function")
+    lines = [f"scenario {profile['scenario']} "
+             f"(engine={profile.get('engine', '?')}, "
+             f"wall={profile.get('wall_clock_s', 0.0):.3f}s, "
+             f"top {profile['top_n']} by {profile['sort']})",
+             header, "-" * len(header)]
+    for row in profile["rows"]:
+        lines.append(f"{row['cumtime_s']:>10.4f} {row['tottime_s']:>10.4f} "
+                     f"{row['ncalls']:>12}  {row['function']}")
+    return "\n".join(lines)
+
+
 # ------------------------------------------------------------------- compare
+#: Metadata keys that make two BENCH documents comparable; differing values
+#: mean the wall-clock delta measures the environment, not the code.
+COMPARABLE_METADATA = ("python", "platform", "engine")
+
+
+def document_metadata_mismatches(doc_a: Dict[str, Any], doc_b: Dict[str, Any],
+                                 labels: Tuple[str, str] = ("A", "B"),
+                                 ) -> List[str]:
+    """Human-readable warnings for BENCH documents that are not comparable.
+
+    Checks the :data:`COMPARABLE_METADATA` keys (interpreter version,
+    platform, engine).  A key missing from a document — e.g. a baseline
+    recorded before the ``engine`` field existed — is reported too, as
+    ``<missing>``: silently treating old pure-engine baselines as comparable
+    to compiled-engine runs is exactly the mix-up this guard exists for.
+    """
+    warnings: List[str] = []
+    for key in COMPARABLE_METADATA:
+        value_a = doc_a.get(key, "<missing>")
+        value_b = doc_b.get(key, "<missing>")
+        if value_a != value_b:
+            warnings.append(
+                f"{key} differs: {labels[0]}={value_a} vs {labels[1]}={value_b}"
+                f" — wall-clock deltas measure the environment, not the code")
+    return warnings
+
+
 def compare_documents(doc_a: Dict[str, Any],
                       doc_b: Dict[str, Any]) -> List[Dict[str, Any]]:
     """Per-scenario deltas between two BENCH documents (B measured vs A).

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional, Sequence
 
 from repro.baselines.scalardb import ScalarDBConfig
+from repro.sim.engine import active_engine
 from repro.cluster.client import start_terminals
 from repro.cluster.deployment import Cluster, build_cluster
 from repro.cluster.topology import TopologyConfig
@@ -99,6 +100,11 @@ class ExperimentSummary:
     #: recovery passes, per-second availability, time-to-recover); ``None``
     #: for fault-free runs.  See ``FaultInjector.summarize``.
     faults: Optional[Dict[str, Any]] = None
+    #: Simulation engine the run executed on (``pure`` or ``compiled``), as
+    #: reported by :func:`repro.sim.engine.active_engine` in the process that
+    #: ran the experiment — for sweeps on a worker pool that is the *worker*,
+    #: which inherits ``REPRO_ENGINE`` through the environment.
+    engine: str = ""
 
     # ------------------------------------------------------------ conveniences
     @property
@@ -137,6 +143,7 @@ class ExperimentSummary:
             "breakdown": dict(self.breakdown),
             "abort_reasons": dict(self.abort_reasons),
             "events_processed": self.events_processed,
+            "engine": self.engine,
             "resources": {
                 "work_units": self.resources.work_units,
                 "wan_messages": self.resources.wan_messages,
@@ -183,6 +190,8 @@ class ExperimentResult:
     #: Fault/availability report of a fault-injection run (see
     #: ``ExperimentSummary.faults``); ``None`` for fault-free runs.
     faults: Optional[Dict[str, Any]] = None
+    #: Simulation engine the run executed on (``pure`` or ``compiled``).
+    engine: str = ""
 
     # ------------------------------------------------------------ conveniences
     def throughput_for(self, txn_type: str) -> float:
@@ -230,6 +239,7 @@ class ExperimentResult:
             timeline=self.timeline,
             events_processed=self.events_processed,
             faults=self.faults,
+            engine=self.engine,
         )
 
 
@@ -337,4 +347,5 @@ def run_experiment(config: ExperimentConfig,
         events_processed=cluster.env.events_processed,
         faults=(fault_injector.summarize(collector, config.duration_ms)
                 if fault_injector is not None else None),
+        engine=active_engine(),
     )

@@ -14,6 +14,7 @@ that yields events; the environment resumes the generator when the yielded
 event fires.  All timestamps are floats in simulated milliseconds.
 """
 
+from repro.sim.engine import active_engine, compiled_available, engine_info
 from repro.sim.environment import Environment
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.sim.process import Process
@@ -48,4 +49,7 @@ __all__ = [
     "Store",
     "Timeout",
     "ZipfianGenerator",
+    "active_engine",
+    "compiled_available",
+    "engine_info",
 ]

@@ -1,0 +1,46 @@
+"""The mypyc-compiled engine core (optional twin of :mod:`repro.sim._kernel`).
+
+This package is *empty in source control* apart from this guard: the build
+step (``python tools/build_compiled.py``) copies the kernel sources in,
+compiles them with mypyc, and removes the staged ``.py`` files again so only
+extension modules remain.  Importing the package therefore either yields the
+compiled kernel or fails with :class:`ImportError` — it can never silently
+hand back interpreted modules:
+
+* if the extension modules were never built, the submodule import below
+  raises ``ModuleNotFoundError``;
+* if stale staged ``.py`` files are lying around (an aborted build), the
+  origin check below rejects them, because "compiled engine" must mean
+  compiled — a leftover interpreted copy would make every ``engine=compiled``
+  benchmark number a lie.
+
+:mod:`repro.sim.engine` catches the ImportError and falls back to the pure
+kernel (under ``REPRO_ENGINE=auto``) or aborts (``REPRO_ENGINE=compiled``).
+"""
+
+from importlib import import_module
+from types import ModuleType
+
+_EXTENSION_SUFFIXES = (".so", ".pyd")
+
+
+def _load_compiled(name: str) -> ModuleType:
+    module = import_module(f"{__name__}.{name}")
+    origin = getattr(module, "__file__", None) or ""
+    if not origin.endswith(_EXTENSION_SUFFIXES):
+        raise ImportError(
+            f"{module.__name__} is not a compiled extension module "
+            f"(found {origin!r}); refusing to pass off interpreted code as "
+            f"the compiled engine. Re-run `python tools/build_compiled.py` "
+            f"or delete the stale files under repro/sim/_ckernel/.")
+    return module
+
+
+# Dependency order: events <- process <- environment <- (resources, locks).
+events = _load_compiled("events")
+process = _load_compiled("process")
+environment = _load_compiled("environment")
+resources = _load_compiled("resources")
+locks = _load_compiled("locks")
+
+__all__ = ["environment", "events", "locks", "process", "resources"]

@@ -28,33 +28,20 @@ EXPERIMENTS.md ("Statistical equivalence"): refresh the equivalence reference,
 verify the equivalence suite passes, then update the constants below from the
 failure output — and say so in the commit message.  Goldens must be re-pinned
 at most once per PR.
+
+Engine parameterization
+-----------------------
+
+Every test here runs once per runnable engine (``tests/conftest.py``): the
+active engine in-process, the other one in a ``REPRO_ENGINE``-pinned
+subprocess via ``python -m repro.bench.goldens``.  The pins themselves are
+engine-independent constants — which is exactly the contract the compiled
+(mypyc) kernel must honour: same bytes out, only faster.  The pinned
+configurations live in :mod:`repro.bench.goldens` so the subprocess replays
+the very same runs.
 """
 
 from __future__ import annotations
-
-import hashlib
-
-from repro.bench.runner import ExperimentConfig, run_experiment
-from repro.bench.scenarios import get_scenario
-from repro.workloads.ycsb import YCSBConfig
-
-
-def _snapshot(config: ExperimentConfig) -> dict:
-    result = run_experiment(config)
-    latency = result.latency
-    samples = list(latency.samples)
-    return {
-        "throughput_tps": result.throughput_tps,
-        "committed": result.committed,
-        "aborted": result.aborted,
-        "average_latency_ms": result.average_latency_ms,
-        "p50": latency.p50 if len(latency) else None,
-        "p99": latency.p99 if len(latency) else None,
-        "abort_rate": result.abort_rate,
-        "abort_reasons": result.collector.abort_reasons(),
-        "n_samples": len(samples),
-        "latency_sha256": hashlib.sha256(repr(samples).encode()).hexdigest(),
-    }
 
 
 #: Exact summaries of the registered ``smoke`` scenario (seed 0), per system.
@@ -146,31 +133,32 @@ GOLDEN_SCALE = {
 }
 
 
-def test_smoke_scenario_summary_is_byte_identical_to_snapshot():
-    for point in get_scenario("smoke").sweep().points():
-        system = point.params["system"]
-        assert _snapshot(point.config) == GOLDEN_SMOKE[system], (
-            f"smoke[{system}] diverged from the golden snapshot")
+def test_smoke_scenario_summary_is_byte_identical_to_snapshot(
+        engine, goldens_runner):
+    snapshots = goldens_runner(engine, "snapshot", "smoke")["snapshot"]
+    assert set(snapshots) == set(GOLDEN_SMOKE)
+    for system, snapshot in snapshots.items():
+        assert snapshot == GOLDEN_SMOKE[system], (
+            f"smoke[{system}] diverged from the golden snapshot "
+            f"on the {engine} engine")
 
 
-def _contended_config(system: str) -> ExperimentConfig:
-    return ExperimentConfig(
-        system=system, terminals=24, duration_ms=9_000.0, warmup_ms=1_000.0,
-        ycsb=YCSBConfig(skew=1.1, distributed_ratio=0.5,
-                        records_per_node=100, preload_rows_per_node=100),
-        seed=7)
+def test_contended_run_summary_is_byte_identical_to_snapshot(
+        engine, goldens_runner):
+    snapshot = goldens_runner(engine, "snapshot", "contended_geotp")["snapshot"]
+    assert snapshot == GOLDEN_CONTENDED, (
+        f"contended geotp run diverged on the {engine} engine")
 
 
-def test_contended_run_summary_is_byte_identical_to_snapshot():
-    assert _snapshot(_contended_config("geotp")) == GOLDEN_CONTENDED
+def test_contended_ssp_run_summary_is_byte_identical_to_snapshot(
+        engine, goldens_runner):
+    snapshot = goldens_runner(engine, "snapshot", "contended_ssp")["snapshot"]
+    assert snapshot == GOLDEN_CONTENDED_SSP, (
+        f"contended ssp run diverged on the {engine} engine")
 
 
-def test_contended_ssp_run_summary_is_byte_identical_to_snapshot():
-    assert _snapshot(_contended_config("ssp")) == GOLDEN_CONTENDED_SSP
-
-
-def test_medium_scale_run_summary_is_byte_identical_to_snapshot():
-    config = ExperimentConfig(
-        system="geotp", terminals=32, duration_ms=10_000.0, warmup_ms=1_000.0,
-        ycsb=YCSBConfig(skew=0.9, distributed_ratio=0.2))
-    assert _snapshot(config) == GOLDEN_SCALE
+def test_medium_scale_run_summary_is_byte_identical_to_snapshot(
+        engine, goldens_runner):
+    snapshot = goldens_runner(engine, "snapshot", "scale")["snapshot"]
+    assert snapshot == GOLDEN_SCALE, (
+        f"medium-scale run diverged on the {engine} engine")

@@ -6,15 +6,20 @@ import pytest
 
 from repro.bench.__main__ import main
 from repro.bench.perf import (
+    COMPARABLE_METADATA,
     PerfMetrics,
     build_document,
     compare_documents,
     compare_to_baseline,
+    document_metadata_mismatches,
     format_comparison,
+    format_profile,
     load_history,
     measure_scenario,
     peak_rss_bytes,
+    profile_scenario,
 )
+from repro.sim.engine import active_engine
 
 #: Overrides that shrink the smoke scenario to unit-test scale.
 TINY = dict(duration_ms=800.0, warmup_ms=100.0, terminals=2)
@@ -200,3 +205,91 @@ def test_cli_perf_compare_rejects_measurement_flags(tmp_path, capsys):
                  "--output", str(tmp_path / "o.json")]) == 2
     assert "--compare cannot be combined" in capsys.readouterr().err
     assert not (tmp_path / "o.json").exists()
+
+
+# ------------------------------------------------------ engine-aware documents
+def test_build_document_records_the_engine():
+    doc = build_document("t", [_metric("a", 1.0)], [])
+    assert doc["engine"] == active_engine()
+
+
+def test_history_entries_record_the_engine(tmp_path, capsys):
+    history = tmp_path / "hist.jsonl"
+    assert main(["perf", "--scenarios", "smoke", "--repeats", "1",
+                 "--tag", "t", "--baseline", str(tmp_path / "missing.json"),
+                 "--history", str(history),
+                 "--output", str(tmp_path / "o.json")]) == 0
+    entries = load_history(str(history))
+    assert entries[0]["engine"] == active_engine()
+
+
+def test_document_metadata_mismatches_reports_diffs_and_missing():
+    doc_a = {"python": "3.11.0", "platform": "x", "engine": "pure"}
+    doc_b = {"python": "3.12.1", "platform": "x"}
+    warnings = document_metadata_mismatches(doc_a, doc_b)
+    text = "\n".join(warnings)
+    assert "python" in text and "3.11.0" in text and "3.12.1" in text
+    assert "engine" in text and "<missing>" in text
+    assert "platform" not in text
+    assert document_metadata_mismatches(doc_a, dict(doc_a)) == []
+    assert set(COMPARABLE_METADATA) == {"python", "platform", "engine"}
+
+
+def test_cli_perf_compare_warns_on_metadata_mismatch(tmp_path, capsys):
+    doc_a = _bench_doc("old", {"smoke": (2.0, 100.0)})
+    doc_a.update(python="3.11.0", platform="x", engine="pure")
+    doc_b = _bench_doc("new", {"smoke": (1.0, 150.0)})
+    doc_b.update(python="3.11.0", platform="x", engine="compiled")
+    path_a, path_b = tmp_path / "a.json", tmp_path / "b.json"
+    path_a.write_text(json.dumps(doc_a))
+    path_b.write_text(json.dumps(doc_b))
+    assert main(["perf", "--compare", str(path_a), str(path_b)]) == 0
+    err = capsys.readouterr().err
+    assert "engine" in err and "pure" in err and "compiled" in err
+
+
+# ------------------------------------------------------------------ profiling
+def test_profile_scenario_reports_hot_functions():
+    profile = profile_scenario("smoke", top_n=10, **TINY)
+    assert profile["scenario"] == "smoke"
+    assert profile["engine"] == active_engine()
+    assert profile["sort"] == "cumulative"
+    assert profile["wall_clock_s"] > 0
+    assert 0 < len(profile["rows"]) <= 10
+    top = profile["rows"][0]
+    assert set(top) == {"function", "ncalls", "primitive_calls",
+                        "tottime_s", "cumtime_s"}
+    # Rows are sorted by cumulative time, and on the pure engine the kernel's
+    # run loop must appear near the top; the compiled kernel hides its frames
+    # from the profiler (native code), which is fine — rows just shift to the
+    # interpreted callers.
+    cumtimes = [row["cumtime_s"] for row in profile["rows"]]
+    assert cumtimes == sorted(cumtimes, reverse=True)
+    if active_engine() == "pure":
+        assert any("_kernel" in row["function"] for row in profile["rows"])
+    json.dumps(profile)  # profile must be JSON-serialisable
+    table = format_profile(profile)
+    assert "cumtime" in table and "smoke" in table
+
+
+def test_cli_perf_profile_writes_table_next_to_document(tmp_path, capsys):
+    out = tmp_path / "BENCH_test.json"
+    assert main(["perf", "--scenarios", "smoke", "--repeats", "1",
+                 "--profile", "--profile-top", "5",
+                 "--baseline", str(tmp_path / "missing.json"),
+                 "--no-history", "--output", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    profiles = {p["scenario"]: p for p in doc["profiles"]}
+    assert "smoke" in profiles
+    assert len(profiles["smoke"]["rows"]) <= 5
+    table_path = tmp_path / "BENCH_test.profile.txt"
+    assert table_path.exists()
+    assert "cumtime" in table_path.read_text()
+
+
+def test_cli_perf_profile_conflicts_with_compare(tmp_path, capsys):
+    path = tmp_path / "a.json"
+    path.write_text(json.dumps(_bench_doc("x", {"smoke": (1.0, 1.0)})))
+    assert main(["perf", "--compare", str(path), str(path),
+                 "--profile"]) == 2
+    assert "--compare cannot be combined" in capsys.readouterr().err

@@ -1,0 +1,159 @@
+"""Engine selection: ``REPRO_ENGINE``, the facades, and ``engine_info()``.
+
+The kernel (environment/events/process/resources/locks) is chosen once per
+process by :mod:`repro.sim.engine` — ``pure`` (the interpreted source of
+truth), ``compiled`` (the mypyc build, hard error when absent) or ``auto``
+(compiled when available, silently pure otherwise).  These tests pin the
+selector contract from both sides of the process boundary: in-process for the
+engine this pytest run resolved to, and via ``REPRO_ENGINE``-pinned
+subprocesses for the selection logic itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.sim.engine as engine_mod
+from repro.sim.engine import (
+    ENGINE_ENV_VAR,
+    VALID_ENGINES,
+    active_engine,
+    compiled_available,
+    engine_info,
+    requested_engine,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_DIR = REPO_ROOT / "src"
+
+
+def _run_python(code: str, engine: str) -> "subprocess.CompletedProcess[str]":
+    env = dict(os.environ)
+    env[ENGINE_ENV_VAR] = engine
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    return subprocess.run([sys.executable, "-c", code], env=env,
+                          capture_output=True, text=True, check=False)
+
+
+INFO_CODE = "import json, repro.sim; print(json.dumps(repro.sim.engine_info()))"
+
+
+# ----------------------------------------------------------- in-process pins
+def test_valid_engines_and_env_var_names():
+    assert VALID_ENGINES == ("pure", "compiled", "auto")
+    assert ENGINE_ENV_VAR == "REPRO_ENGINE"
+
+
+def test_active_engine_is_a_concrete_kernel():
+    # `auto` must resolve to one of the two real kernels, never leak through.
+    assert active_engine() in ("pure", "compiled")
+    assert requested_engine() in VALID_ENGINES
+
+
+def test_engine_info_reports_the_selection():
+    info = engine_info()
+    assert set(info) >= {"requested", "active", "compiled_available",
+                         "compiled_error", "kernel", "env_var"}
+    assert info["active"] == active_engine()
+    assert info["requested"] == requested_engine()
+    assert info["compiled_available"] == compiled_available()
+    assert info["env_var"] == ENGINE_ENV_VAR
+    suffix = "_ckernel" if info["active"] == "compiled" else "_kernel"
+    assert info["kernel"].endswith(suffix)
+    if info["compiled_available"]:
+        assert info["compiled_error"] is None
+
+
+def test_facades_reexport_the_selected_kernel():
+    import repro.sim.environment as env_facade
+    import repro.sim.events as events_facade
+    import repro.sim.process as process_facade
+    import repro.sim.resources as resources_facade
+    import repro.storage.lock_manager as locks_facade
+
+    assert env_facade.Environment is engine_mod.environment.Environment
+    assert events_facade.Event is engine_mod.events.Event
+    assert events_facade.Timeout is engine_mod.events.Timeout
+    assert process_facade.Process is engine_mod.process.Process
+    assert resources_facade.Store is engine_mod.resources.Store
+    assert locks_facade.LockManager is engine_mod.locks.LockManager
+
+
+def test_pending_sentinel_is_shared_with_the_kernel():
+    # The facade must hand out the SAME sentinel object as the selected
+    # kernel, or cross-module `is PENDING` checks would silently never match.
+    from repro.sim.events import PENDING as facade_pending
+
+    assert facade_pending is engine_mod.events.PENDING
+
+
+def test_experiment_summary_carries_the_active_engine():
+    from repro.bench.runner import ExperimentConfig, run_experiment
+    from repro.workloads.ycsb import YCSBConfig
+
+    config = ExperimentConfig(system="geotp", terminals=2,
+                              duration_ms=300.0, warmup_ms=0.0,
+                              ycsb=YCSBConfig())
+    result = run_experiment(config)
+    assert result.engine == active_engine()
+    summary = result.summary()
+    assert summary.engine == active_engine()
+    assert summary.to_dict()["engine"] == active_engine()
+
+
+# ------------------------------------------------------ subprocess selection
+def test_pure_engine_selectable_explicitly():
+    proc = _run_python(INFO_CODE, engine="pure")
+    assert proc.returncode == 0, proc.stderr
+    info = json.loads(proc.stdout)
+    assert info["requested"] == "pure"
+    assert info["active"] == "pure"
+    assert info["kernel"].endswith("_kernel")
+
+
+def test_auto_engine_resolves_to_a_concrete_kernel():
+    proc = _run_python(INFO_CODE, engine="auto")
+    assert proc.returncode == 0, proc.stderr
+    info = json.loads(proc.stdout)
+    assert info["requested"] == "auto"
+    assert info["active"] in ("pure", "compiled")
+    if not info["compiled_available"]:
+        assert info["active"] == "pure"
+        assert info["compiled_error"]
+
+
+def test_invalid_engine_is_rejected_at_import():
+    proc = _run_python("import repro.sim", engine="definitely-not-an-engine")
+    assert proc.returncode != 0
+    assert "REPRO_ENGINE" in proc.stderr
+    for valid in VALID_ENGINES:
+        assert valid in proc.stderr
+
+
+@pytest.mark.skipif(compiled_available(),
+                    reason="compiled core is built here; the hard-failure "
+                           "path below cannot trigger")
+def test_requesting_compiled_without_a_build_fails_with_instructions():
+    proc = _run_python("import repro.sim", engine="compiled")
+    assert proc.returncode != 0
+    assert "compiled" in proc.stderr
+    assert "tools/build_compiled.py" in proc.stderr
+
+
+def test_bench_cli_engine_subcommand_prints_the_info_document():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    proc = subprocess.run([sys.executable, "-m", "repro.bench", "engine"],
+                          env=env, capture_output=True, text=True, check=False)
+    assert proc.returncode == 0, proc.stderr
+    info = json.loads(proc.stdout)
+    assert info["active"] in ("pure", "compiled")
+    assert info["env_var"] == "REPRO_ENGINE"

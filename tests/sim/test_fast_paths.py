@@ -349,16 +349,10 @@ def test_wheel_ticks_cover_distinct_slots():
 
 
 # -------------------------------------------------- determinism of the engine
-def test_same_seed_twice_is_byte_identical_on_the_new_engine():
-    from repro.bench.equivalence import snapshot
-    from repro.bench.runner import ExperimentConfig
-    from repro.workloads.ycsb import YCSBConfig
-
-    def config():
-        return ExperimentConfig(
-            system="geotp", terminals=8, duration_ms=3_000.0, warmup_ms=500.0,
-            ycsb=YCSBConfig(skew=1.0, distributed_ratio=0.5,
-                            records_per_node=100, preload_rows_per_node=100),
-            seed=13)
-
-    assert snapshot(config()) == snapshot(config())
+def test_same_seed_twice_is_byte_identical(engine, goldens_runner):
+    # Runs once per runnable engine (pure in-process, compiled in a pinned
+    # subprocess); the config is repro.bench.goldens.determinism_config().
+    document = goldens_runner(engine, "determinism")
+    assert document["identical"], (
+        f"two runs of the same seed diverged on the {engine} engine: "
+        f"{document['first']} != {document['second']}")

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Build the optional mypyc-compiled engine core (``repro.sim._ckernel``).
+
+The pure-Python kernel in ``src/repro/sim/_kernel/`` is the source of truth.
+This script stages verbatim copies of the kernel modules into
+``src/repro/sim/_ckernel/`` (whose committed ``__init__.py`` refuses to import
+anything that is not a compiled extension), compiles them with mypyc via an
+in-place ``build_ext``, deletes the staged ``.py`` files again, and finally
+verifies that ``REPRO_ENGINE=compiled`` imports in a fresh interpreter and
+reports byte-identical smoke results to the pure engine.
+
+The module list and compiler knobs come from the ``[tool.mypyc]`` table in
+``pyproject.toml`` — one source of truth shared with docs and CI.
+
+The build is strictly optional.  Without mypy/mypyc or a C toolchain the repo
+runs on the pure kernel, selected automatically (``REPRO_ENGINE=auto`` is the
+default).  Exit codes:
+
+* 0 — compiled core built and verified (or ``--if-available`` and mypyc is
+  missing: a notice is printed and the pure engine remains in charge),
+* 1 — mypyc is unavailable and ``--if-available`` was not given, or the
+  build/verification failed.
+
+Usage::
+
+    python tools/build_compiled.py                # build + verify
+    python tools/build_compiled.py --if-available # no-op exit 0 without mypyc
+    python tools/build_compiled.py --clean        # remove build artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+KERNEL = SRC / "repro" / "sim" / "_kernel"
+CKERNEL = SRC / "repro" / "sim" / "_ckernel"
+
+
+def load_mypyc_config() -> Dict[str, Any]:
+    """The ``[tool.mypyc]`` table from pyproject.toml."""
+    try:
+        import tomllib
+    except ModuleNotFoundError as exc:  # Python 3.10: tomllib is 3.11+
+        raise SystemExit(
+            "error: reading pyproject.toml needs tomllib (Python >= 3.11); "
+            "run the compiled build on a newer interpreter") from exc
+    with open(ROOT / "pyproject.toml", "rb") as handle:
+        table = tomllib.load(handle).get("tool", {}).get("mypyc", {})
+    if not table.get("modules"):
+        raise SystemExit("error: [tool.mypyc] modules missing from "
+                         "pyproject.toml")
+    return table
+
+
+def mypyc_importable() -> bool:
+    try:
+        import mypyc.build  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def stage_sources(modules: List[str]) -> List[Path]:
+    """Copy kernel modules verbatim into the _ckernel package."""
+    staged = []
+    for module in modules:
+        source = KERNEL / f"{module}.py"
+        if not source.is_file():
+            raise SystemExit(f"error: kernel module missing: {source}")
+        target = CKERNEL / f"{module}.py"
+        shutil.copyfile(source, target)
+        staged.append(target)
+    return staged
+
+
+def clean_artifacts(modules: List[str], *, verbose: bool = True) -> None:
+    """Remove staged sources, generated C, built extensions and temp dirs."""
+    removed = []
+    for path in sorted(CKERNEL.glob("*")):
+        if path.name == "__init__.py":
+            continue
+        if path.suffix in (".py", ".c", ".so", ".pyd") or "__mypyc" in path.name:
+            path.unlink()
+            removed.append(path)
+    # The grouped mypyc runtime lib lands one level up from the modules.
+    for parent in (SRC / "repro" / "sim", SRC / "repro", SRC):
+        for path in sorted(parent.glob("*__mypyc*")):
+            if path.is_file():
+                path.unlink()
+                removed.append(path)
+    for temp in (SRC / "build", ROOT / "build"):
+        if temp.is_dir():
+            shutil.rmtree(temp)
+            removed.append(temp)
+    if verbose and removed:
+        print(f"cleaned {len(removed)} artifact(s)")
+
+
+def build(config: Dict[str, Any], verbose: bool = False) -> None:
+    """Stage + mypycify + build_ext --inplace, from the src/ root."""
+    from mypyc.build import mypycify
+    from setuptools import setup
+
+    modules = list(config["modules"])
+    staged = stage_sources(modules)
+    cwd = os.getcwd()
+    argv = sys.argv
+    try:
+        # Build from src/ so mypy maps repro/sim/_ckernel/X.py to module
+        # repro.sim._ckernel.X and --inplace drops the extensions back
+        # into the package directory.
+        os.chdir(SRC)
+        sys.argv = ["build_compiled.py", "build_ext", "--inplace"]
+        paths = [str(path.relative_to(SRC)) for path in staged]
+        setup(
+            name="repro-ckernel",
+            ext_modules=mypycify(
+                paths,
+                opt_level=str(config.get("opt_level", "3")),
+                debug_level=str(config.get("debug_level", "1")),
+                verbose=verbose,
+            ),
+        )
+    finally:
+        os.chdir(cwd)
+        sys.argv = argv
+        # The staged .py files exist only for mypyc's benefit; the committed
+        # _ckernel/__init__.py refuses interpreted fallbacks anyway.
+        for path in staged:
+            path.unlink(missing_ok=True)
+        for temp in (SRC / "build",):
+            if temp.is_dir():
+                shutil.rmtree(temp)
+
+
+def verify() -> None:
+    """Import + smoke-compare the compiled engine in fresh interpreters."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+
+    def info_for(engine: str) -> Dict[str, Any]:
+        env["REPRO_ENGINE"] = engine
+        proc = subprocess.run(
+            [sys.executable, "-c",
+             "import json, repro.sim; print(json.dumps(repro.sim.engine_info()))"],
+            env=env, capture_output=True, text=True, check=False, cwd=str(ROOT))
+        if proc.returncode != 0:
+            raise SystemExit(f"error: REPRO_ENGINE={engine} failed to "
+                             f"import:\n{proc.stderr}")
+        return json.loads(proc.stdout)
+
+    info = info_for("compiled")
+    if info["active"] != "compiled":
+        raise SystemExit(f"error: compiled engine did not activate: {info}")
+
+    def smoke_for(engine: str) -> str:
+        env["REPRO_ENGINE"] = engine
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.bench.goldens", "snapshot", "smoke"],
+            env=env, capture_output=True, text=True, check=False, cwd=str(ROOT))
+        if proc.returncode != 0:
+            raise SystemExit(f"error: smoke snapshot failed under "
+                             f"REPRO_ENGINE={engine}:\n{proc.stderr}")
+        return json.dumps(json.loads(proc.stdout)["snapshot"], sort_keys=True)
+
+    if smoke_for("pure") != smoke_for("compiled"):
+        raise SystemExit("error: compiled engine diverged from the pure "
+                         "engine on the smoke scenario — refusing to leave a "
+                         "non-equivalent build in place (run --clean)")
+    print("verified: compiled engine imports and matches the pure engine "
+          "byte-for-byte on the smoke scenario")
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--if-available", action="store_true",
+                        help="exit 0 with a notice when mypyc is missing "
+                             "instead of failing")
+    parser.add_argument("--clean", action="store_true",
+                        help="remove staged/compiled artifacts and exit")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the post-build import/equivalence check")
+    parser.add_argument("--verbose", action="store_true",
+                        help="verbose mypyc output")
+    args = parser.parse_args(argv)
+
+    config = load_mypyc_config()
+    modules = list(config["modules"])
+    if args.clean:
+        clean_artifacts(modules)
+        return 0
+    if not mypyc_importable():
+        message = ("mypyc is not installed; the compiled engine core was NOT "
+                   "built. The pure-Python kernel remains the active engine "
+                   "(REPRO_ENGINE=auto selects it automatically). Install "
+                   "mypy to enable the build: pip install 'mypy>=1.8'")
+        if args.if_available:
+            print(f"notice: {message}")
+            return 0
+        print(f"error: {message}", file=sys.stderr)
+        return 1
+    clean_artifacts(modules, verbose=False)
+    build(config, verbose=args.verbose)
+    if not args.no_verify:
+        verify()
+    print(f"built compiled engine core: {len(modules)} module(s) in "
+          f"{CKERNEL.relative_to(ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
