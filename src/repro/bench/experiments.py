@@ -26,6 +26,7 @@ from repro.bench.report import print_table
 from repro.bench.scenarios import (
     ABLATION_BUILDERS,
     DIST_RATIO_SYSTEMS,
+    FLEET_SYSTEMS,
     HETEROGENEOUS_SCENARIOS,
     OVERALL_SYSTEMS,
     QUICK_SCALE,
@@ -468,6 +469,87 @@ def table1_heterogeneous(ratios: Sequence[float] = (0.25, 0.75),
         print_table("Table I — heterogeneous deployments",
                     ["scenario", "system", "dist ratio", "tput (tps)", "avg latency (ms)"],
                     rows)
+    return out
+
+
+# ----------------------------------------------------- fleet (robustness PR 7)
+def fleet_scaleout(middleware_counts: Sequence[int] = (1, 2, 3, 4),
+                   systems: Sequence[str] = FLEET_SYSTEMS,
+                   duration_ms: float = QUICK_DURATION_MS,
+                   terminals: int = QUICK_TERMINALS,
+                   report: bool = False,
+                   workers: Optional[int] = None) -> Dict:
+    """Throughput vs. fleet size, with scale-out efficiency vs. the K=1 baseline.
+
+    Efficiency is ``tps(K) / (K * tps(1))`` — 1.0 means adding coordinators
+    scales throughput linearly; below 1.0 quantifies the coordination tax
+    (shared data nodes, lock conflicts crossing middlewares).
+    """
+    outcome = _sweep_results(
+        "fleet_scaleout",
+        axes={"system": systems, "middleware_count": middleware_counts},
+        duration_ms=duration_ms, terminals=terminals, workers=workers)
+    out: Dict[str, List] = {system: [] for system in systems}
+    for system in systems:
+        baseline = outcome.get(
+            system=system,
+            middleware_count=middleware_counts[0]).throughput_tps
+        for count in middleware_counts:
+            tps = outcome.get(system=system,
+                              middleware_count=count).throughput_tps
+            scale = count / middleware_counts[0]
+            efficiency = tps / (baseline * scale) if baseline else 0.0
+            out[system].append((count, round(tps, 1), round(efficiency, 2)))
+    if report:
+        rows = [(system, count, tps, efficiency)
+                for system, points in out.items()
+                for count, tps, efficiency in points]
+        print_table("Fleet scale-out — throughput vs middleware count",
+                    ["system", "middlewares", "tput (tps)", "efficiency"], rows)
+    return out
+
+
+def fleet_failover(duration_ms: float = QUICK_DURATION_MS,
+                   terminals: int = QUICK_TERMINALS,
+                   report: bool = False,
+                   workers: Optional[int] = None) -> Dict:
+    """Kill one of three middlewares mid-run; survivors absorb the traffic.
+
+    The headline robustness experiment: per-middleware attribution shows the
+    survivors picking up the dead coordinator's share, the down episodes carry
+    time-to-divert (detection → first commit elsewhere), and the availability
+    timeline shows whether any bucket went dark.
+    """
+    outcome = _sweep_results("fleet_failover", duration_ms=duration_ms,
+                             terminals=terminals, workers=workers)
+    out = {}
+    for point in outcome:
+        summary = point.summary
+        fleet = summary.fleet or {}
+        faults = summary.faults or {}
+        episodes = fleet.get("down_episodes", [])
+        out[point.params["system"]] = {
+            "throughput_tps": summary.throughput_tps,
+            "availability": faults.get("availability", {}).get("availability"),
+            "failovers": fleet.get("failovers", 0),
+            "retries": fleet.get("retries", 0),
+            "attribution": fleet.get("attribution", {}),
+            "time_to_divert_ms": [episode.get("time_to_divert_ms")
+                                  for episode in episodes],
+            "down_episodes": episodes,
+            "time_to_recover_ms": faults.get("time_to_recover_ms"),
+        }
+    if report:
+        rows = [(system,
+                 round(data["throughput_tps"], 1),
+                 data["availability"],
+                 data["failovers"],
+                 [round(ms, 1) for ms in data["time_to_divert_ms"]
+                  if ms is not None])
+                for system, data in out.items()]
+        print_table("Fleet failover — kill 1 of 3 middlewares",
+                    ["system", "tput (tps)", "availability", "failovers",
+                     "divert (ms)"], rows)
     return out
 
 

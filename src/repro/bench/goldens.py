@@ -83,6 +83,29 @@ def determinism_config() -> ExperimentConfig:
         seed=13)
 
 
+def fleet_failover_config() -> ExperimentConfig:
+    """The fleet determinism pin: three middlewares, one killed mid-run.
+
+    Derived from the registered ``fleet_failover`` scenario at smoke scale so
+    the determinism check exercises the whole failover machinery — routing,
+    refusal-driven detection, the health probe, retry jitter and recovery —
+    under both engines.
+    """
+    from repro.bench.scenarios import get_scenario
+
+    sweep = get_scenario("fleet_failover").sweep(
+        axes={"system": ["geotp"]},
+        duration_ms=4_000.0, warmup_ms=800.0, terminals=6)
+    return sweep.points()[0].config
+
+
+#: Named same-seed determinism runs (``determinism [name]``).
+DETERMINISM_CONFIGS = {
+    "default": determinism_config,
+    "fleet_failover": fleet_failover_config,
+}
+
+
 def smoke_snapshots() -> Dict[str, Dict[str, Any]]:
     """Per-system snapshots of the registered ``smoke`` scenario."""
     from repro.bench.scenarios import get_scenario
@@ -117,14 +140,41 @@ def snapshot_document(name: str) -> Dict[str, Any]:
     return {"engine": active_engine(), "name": name, "snapshot": run_named(name)}
 
 
-def determinism_document() -> Dict[str, Any]:
-    """The ``determinism`` subcommand's JSON document, built in-process."""
-    from repro.bench.equivalence import snapshot
+def determinism_snapshot(config: ExperimentConfig) -> Dict[str, Any]:
+    """One comparable same-seed run: the equivalence fields plus the fleet report.
 
-    first = snapshot(determinism_config())
-    second = snapshot(determinism_config())
-    return {"engine": active_engine(), "identical": first == second,
-            "first": first, "second": second}
+    Field-compatible with :func:`repro.bench.equivalence.snapshot`; fleet runs
+    additionally carry the full fleet summary (routing counters, health
+    transitions, down episodes) so two runs only compare equal when the
+    failover machinery behaved bit-identically too.
+    """
+    result = run_experiment(config)
+    samples = list(result.latency.samples)
+    document = {
+        "committed": result.committed,
+        "aborted": result.aborted,
+        "throughput_tps": result.throughput_tps,
+        "abort_rate": result.abort_rate,
+        "abort_reasons": result.collector.abort_reasons(),
+        "n_samples": len(samples),
+        "latency_sha256": hashlib.sha256(repr(samples).encode()).hexdigest(),
+    }
+    if result.fleet is not None:
+        document["fleet"] = result.fleet
+    return document
+
+
+def determinism_document(name: str = "default") -> Dict[str, Any]:
+    """The ``determinism`` subcommand's JSON document, built in-process."""
+    try:
+        config_fn = DETERMINISM_CONFIGS[name]
+    except KeyError:
+        raise KeyError(f"unknown determinism run {name!r}; choose one of "
+                       f"{sorted(DETERMINISM_CONFIGS)}") from None
+    first = determinism_snapshot(config_fn())
+    second = determinism_snapshot(config_fn())
+    return {"engine": active_engine(), "name": name,
+            "identical": first == second, "first": first, "second": second}
 
 
 def equivalence_document(reference_path: str,
@@ -153,7 +203,7 @@ def _cmd_snapshot(args: argparse.Namespace) -> Dict[str, Any]:
 
 
 def _cmd_determinism(args: argparse.Namespace) -> Dict[str, Any]:
-    return determinism_document()
+    return determinism_document(args.name)
 
 
 def _cmd_equivalence(args: argparse.Namespace) -> Dict[str, Any]:
@@ -172,7 +222,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     snap.set_defaults(fn=_cmd_snapshot)
 
     determinism = commands.add_parser(
-        "determinism", help="run the same-seed config twice and compare")
+        "determinism", help="run a same-seed config twice and compare")
+    determinism.add_argument("name", nargs="?", default="default",
+                             choices=sorted(DETERMINISM_CONFIGS))
     determinism.set_defaults(fn=_cmd_determinism)
 
     equivalence = commands.add_parser(

@@ -18,6 +18,7 @@ from repro.baselines.scalardb import ScalarDBConfig
 from repro.sim.engine import active_engine
 from repro.cluster.client import start_terminals
 from repro.cluster.deployment import Cluster, build_cluster
+from repro.cluster.fleet import FleetConfig, MiddlewareFleet, RetryPolicy
 from repro.cluster.topology import TopologyConfig
 from repro.core.config import GeoTPConfig
 from repro.metrics.breakdown import PhaseBreakdown
@@ -52,6 +53,21 @@ class ExperimentConfig:
     geotp: Optional[GeoTPConfig] = None
     scalardb: Optional[ScalarDBConfig] = None
     middleware: Optional[MiddlewareConfig] = None
+    #: Number of coordinator middlewares.  With the default topology, values
+    #: above 1 build ``TopologyConfig.multi_middleware(num_middlewares=K)``
+    #: (a co-located fleet for K != 2, the Fig. 15 split for K = 2); with an
+    #: explicit topology the counts must agree.  More than one middleware
+    #: implies a client-side fleet (see ``fleet``).
+    middleware_count: int = 1
+    #: Fleet routing/failure-detection settings.  ``None`` with a single
+    #: middleware means "no fleet" — terminals stay pinned exactly as before;
+    #: with several middlewares a default :class:`FleetConfig` is used.
+    fleet: Optional[FleetConfig] = None
+    #: Client retry/backoff discipline.  ``None`` keeps the deprecated fixed
+    #: ``ClientTerminal.RETRY_BACKOFF_MS`` pause (single-middleware legacy
+    #: behaviour); fleet runs default to a :class:`RetryPolicy` so failover
+    #: works out of the box.  Fields are sweepable axes (``retry.base_ms``).
+    retry: Optional[RetryPolicy] = None
     #: Bucket width for the throughput time series (None disables the timeline).
     timeline_bucket_ms: Optional[float] = None
     #: Enable GeoTP's active latency probing (needed when link latencies change
@@ -100,6 +116,10 @@ class ExperimentSummary:
     #: recovery passes, per-second availability, time-to-recover); ``None``
     #: for fault-free runs.  See ``FaultInjector.summarize``.
     faults: Optional[Dict[str, Any]] = None
+    #: Fleet report of a multi-middleware run (routing policy, per-middleware
+    #: commit/abort/failover attribution, health transitions, time-to-divert,
+    #: per-middleware availability timelines); ``None`` when no fleet ran.
+    fleet: Optional[Dict[str, Any]] = None
     #: Simulation engine the run executed on (``pure`` or ``compiled``), as
     #: reported by :func:`repro.sim.engine.active_engine` in the process that
     #: ran the experiment — for sweeps on a worker pool that is the *worker*,
@@ -159,6 +179,8 @@ class ExperimentSummary:
             }
         if self.faults is not None:
             out["faults"] = self.faults
+        if self.fleet is not None:
+            out["fleet"] = self.fleet
         if include_samples:
             out["latency_samples"] = list(self.latency_samples)
         return out
@@ -190,6 +212,8 @@ class ExperimentResult:
     #: Fault/availability report of a fault-injection run (see
     #: ``ExperimentSummary.faults``); ``None`` for fault-free runs.
     faults: Optional[Dict[str, Any]] = None
+    #: Fleet report of a multi-middleware run (see ``ExperimentSummary.fleet``).
+    fleet: Optional[Dict[str, Any]] = None
     #: Simulation engine the run executed on (``pure`` or ``compiled``).
     engine: str = ""
 
@@ -239,6 +263,7 @@ class ExperimentResult:
             timeline=self.timeline,
             events_processed=self.events_processed,
             faults=self.faults,
+            fleet=self.fleet,
             engine=self.engine,
         )
 
@@ -275,7 +300,20 @@ def run_experiment(config: ExperimentConfig,
     """Run one experiment point and aggregate its metrics."""
     if config.warmup_ms >= config.duration_ms:
         raise ValueError("warmup_ms must be smaller than duration_ms")
-    topology = config.topology or TopologyConfig.paper_default()
+    if config.middleware_count < 1:
+        raise ValueError("middleware_count must be >= 1")
+    topology = config.topology
+    if topology is None:
+        if config.middleware_count > 1:
+            topology = TopologyConfig.multi_middleware(
+                num_middlewares=config.middleware_count)
+        else:
+            topology = TopologyConfig.paper_default()
+    elif (config.middleware_count > 1
+          and len(topology.middlewares) != config.middleware_count):
+        raise ValueError(
+            f"middleware_count={config.middleware_count} disagrees with the "
+            f"explicit topology ({len(topology.middlewares)} middlewares)")
     workload = make_workload(config, topology.node_names())
     partitioner = workload.make_partitioner()
     cluster = build_cluster(config.system, topology, partitioner,
@@ -299,9 +337,23 @@ def run_experiment(config: ExperimentConfig,
         fault_injector = FaultInjector(cluster, config.fault_plan)
         fault_injector.install()
 
+    # The fleet is strictly opt-in: single-middleware runs without an explicit
+    # FleetConfig take the pinned legacy path (no fleet, no probe process), so
+    # the golden pins stay byte-identical.  Multi-middleware runs always get
+    # one, and a fleet without a retry policy would be unable to fail over —
+    # default it.
+    fleet = None
+    retry = config.retry
+    if config.fleet is not None or config.middleware_count > 1:
+        fleet = MiddlewareFleet(cluster.env, cluster.middlewares,
+                                config.fleet or FleetConfig())
+        if retry is None:
+            retry = RetryPolicy()
+
     start_terminals(cluster.env, cluster.middlewares, workload, collector,
                     terminal_count=config.terminals, duration_ms=config.duration_ms,
-                    timeline=timeline)
+                    timeline=timeline, fleet=fleet, retry=retry,
+                    seed=config.seed)
     # The event loop allocates heavily but creates no cycles it relies on
     # collecting mid-run; suspending the cyclic GC removes its pauses from
     # the hot loop (it is restored — and the cycles reaped — afterwards).
@@ -313,6 +365,25 @@ def run_experiment(config: ExperimentConfig,
     finally:
         if gc_was_enabled:
             gc.enable()
+
+    fleet_report = None
+    if fleet is not None:
+        from repro.metrics.availability import (
+            per_middleware_attribution,
+            per_middleware_availability,
+        )
+
+        fleet_report = fleet.summary()
+        # Attribution is derived from the recorded samples (txn-id prefixes),
+        # so it sums exactly to the collector's committed/aborted totals —
+        # the invariant the zero-lost/zero-duplicated checks assert.
+        fleet_report["attribution"] = per_middleware_attribution(
+            collector.samples)
+        fleet_report["availability_per_middleware"] = {
+            name: report.to_dict()
+            for name, report in per_middleware_availability(
+                collector.samples, config.duration_ms,
+                start_ms=collector.warmup_ms).items()}
 
     measured = config.duration_ms - config.warmup_ms
     latency = collector.latency_distribution()
@@ -347,5 +418,6 @@ def run_experiment(config: ExperimentConfig,
         events_processed=cluster.env.events_processed,
         faults=(fault_injector.summarize(collector, config.duration_ms)
                 if fault_injector is not None else None),
+        fleet=fleet_report,
         engine=active_engine(),
     )

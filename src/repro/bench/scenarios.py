@@ -31,6 +31,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.bench.runner import ExperimentConfig
+from repro.cluster.fleet import FleetConfig, RetryPolicy, routing_policy_names
 from repro.cluster.topology import TopologyConfig
 from repro.core.config import GeoTPConfig
 from repro.plugins import (
@@ -461,6 +462,42 @@ def _apply_fault_latency_spike(config: ExperimentConfig,
                        factor=params.get("factor", 4.0))
 
 
+# --------------------------------------------------------------- fleet family
+#: Systems the fleet scenarios compare (the fleet layer is system-agnostic;
+#: two coordinators suffice to show the routing/failover machinery composes
+#: with both the 2PC baseline and GeoTP).
+FLEET_SYSTEMS = ("ssp", "geotp")
+
+#: Middleware killed by ``fleet_failover`` (the middle one of three).
+FLEET_FAILOVER_TARGET = "dm2"
+
+
+def _apply_fleet_scaleout(config: ExperimentConfig,
+                          params: Dict[str, Any]) -> ExperimentConfig:
+    """Pin a co-located fleet layout for every K.
+
+    ``TopologyConfig.multi_middleware`` keeps the legacy geo-split layout at
+    K=2 (one coordinator remote, the Fig. 15 deployment); the scale-out sweep
+    wants the K axis to vary *only* the coordinator count, so every fleet
+    size uses coordinators in the client region.
+    """
+    if config.middleware_count > 1:
+        config.topology = TopologyConfig.multi_middleware(
+            num_middlewares=config.middleware_count,
+            middleware_regions=["beijing"] * config.middleware_count)
+    return config
+
+
+def _apply_fleet_failover(config: ExperimentConfig,
+                          params: Dict[str, Any]) -> ExperimentConfig:
+    """Kill one of the three fleet middlewares inside the fault window."""
+    at_ms, duration_ms = fault_window(config.duration_ms)
+    config.fault_plan = FaultPlan(events=(
+        FaultEvent(kind=FaultKind.MIDDLEWARE_CRASH, at_ms=at_ms,
+                   duration_ms=duration_ms, target=FLEET_FAILOVER_TARGET),))
+    return config
+
+
 # --------------------------------------------------------- registered scenarios
 #: The five systems compared in the overall evaluation (Fig. 5).
 OVERALL_SYSTEMS = ("ssp", "ssp_local", "scalardb", "scalardb_plus", "geotp")
@@ -683,6 +720,36 @@ register(ScenarioSpec(
     base=_base(),
     axes=(Axis("system", FAULT_SYSTEMS),),
     apply=_apply_fault_latency_spike,
+))
+
+register(ScenarioSpec(
+    name="fleet_scaleout",
+    description="Scale-out efficiency of a co-located K-middleware fleet "
+                "(K=1..4) vs the single-coordinator baseline",
+    base=_base(fleet=FleetConfig(), retry=RetryPolicy()),
+    axes=(Axis("system", FLEET_SYSTEMS),
+          Axis("middleware_count", (1, 2, 3, 4))),
+    apply=_apply_fleet_scaleout,
+))
+
+register(ScenarioSpec(
+    name="fleet_failover",
+    description="Kill one of three fleet middlewares mid-run; terminals "
+                "fail over, §V-A recovery resolves the dead coordinator's "
+                "in-doubt branches while the survivors serve",
+    base=_base(middleware_count=3, fleet=FleetConfig(), retry=RetryPolicy()),
+    axes=(Axis("system", FLEET_SYSTEMS),),
+    apply=_apply_fleet_failover,
+))
+
+register(ScenarioSpec(
+    name="fleet_policies",
+    description="Routing-policy comparison (round_robin / region_affinity / "
+                "least_outstanding) on a three-middleware fleet",
+    base=_base(middleware_count=3, fleet=FleetConfig(), retry=RetryPolicy()),
+    axes=(Axis("system", ("geotp",)),
+          Axis("routing_policy", tuple(routing_policy_names()),
+               path="fleet.routing_policy")),
 ))
 
 register(ScenarioSpec(

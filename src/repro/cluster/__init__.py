@@ -8,6 +8,15 @@ from repro.cluster.topology import (
 )
 from repro.cluster.deployment import Cluster, build_cluster
 from repro.cluster.client import ClientTerminal, start_terminals
+from repro.cluster.fleet import (
+    FleetConfig,
+    HealthState,
+    MiddlewareFleet,
+    RetryPolicy,
+    get_routing_policy,
+    register_routing_policy,
+    routing_policy_names,
+)
 from repro.plugins import get_system_plugin, normalize_system, system_names
 
 
@@ -24,13 +33,20 @@ __all__ = [
     "ClientTerminal",
     "Cluster",
     "DataNodeSpec",
+    "FleetConfig",
+    "HealthState",
+    "MiddlewareFleet",
     "MiddlewareSpec",
+    "RetryPolicy",
     "SUPPORTED_SYSTEMS",
     "TopologyConfig",
     "build_cluster",
+    "get_routing_policy",
     "get_system_plugin",
     "normalize_system",
     "region_rtt_ms",
+    "register_routing_policy",
+    "routing_policy_names",
     "start_terminals",
     "system_names",
 ]

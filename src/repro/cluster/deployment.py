@@ -69,6 +69,14 @@ class Cluster:
         """The first (often only) middleware."""
         return self.middlewares[0]
 
+    def middleware_named(self, name: str) -> MiddlewareBase:
+        """The middleware called ``name`` (fault targets, fleet tests)."""
+        for middleware in self.middlewares:
+            if middleware.name == name:
+                return middleware
+        known = ", ".join(m.name for m in self.middlewares)
+        raise KeyError(f"no middleware named {name!r} (known: {known})")
+
     def load_workload(self, workload) -> None:
         """Bulk-load a workload's initial data into the data sources."""
         workload.load_into(self.datasources)

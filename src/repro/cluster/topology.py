@@ -92,6 +92,12 @@ class TopologyConfig:
         names = [node.name for node in self.data_nodes]
         if len(set(names)) != len(names):
             raise ValueError("data node names must be unique")
+        dm_names = [dm.name for dm in self.middlewares]
+        if len(set(dm_names)) != len(dm_names):
+            # Transaction ids are prefixed with the middleware name; recovery
+            # ownership and per-middleware attribution both key on that
+            # prefix, so duplicates would silently merge two coordinators.
+            raise ValueError("middleware names must be unique")
 
     # -------------------------------------------------------------- accessors
     def node_names(self) -> List[str]:
@@ -176,13 +182,32 @@ class TopologyConfig:
 
     @classmethod
     def multi_middleware(cls, num_nodes: int = 4,
-                         lock_wait_timeout_ms: float = 5000.0) -> "TopologyConfig":
-        """Two middlewares in opposite regions sharing the same data nodes (Fig. 15)."""
+                         lock_wait_timeout_ms: float = 5000.0,
+                         num_middlewares: int = 2,
+                         middleware_regions: Optional[Sequence[str]] = None,
+                         ) -> "TopologyConfig":
+        """K middlewares sharing the same data nodes.
+
+        The default (``num_middlewares=2``, no explicit regions) is the
+        paper's Figure 15 layout: one middleware in Beijing, one co-located
+        with the last (most remote) data node.  Other K default to a
+        co-located fleet — every middleware in Beijing next to the clients —
+        which is the load-balancing/failover deployment the ``fleet_*``
+        scenarios measure; pass ``middleware_regions`` to spread them.
+        """
+        if num_middlewares < 1:
+            raise ValueError("num_middlewares must be >= 1")
         topology = cls.paper_default(num_nodes=num_nodes,
                                      lock_wait_timeout_ms=lock_wait_timeout_ms)
-        remote_region = topology.data_nodes[-1].region
+        if middleware_regions is None:
+            if num_middlewares == 2:
+                middleware_regions = ["beijing", topology.data_nodes[-1].region]
+            else:
+                middleware_regions = ["beijing"] * num_middlewares
+        if len(middleware_regions) != num_middlewares:
+            raise ValueError("middleware_regions must name one region per "
+                             "middleware")
         topology.middlewares = [
-            MiddlewareSpec(name="dm1", region="beijing"),
-            MiddlewareSpec(name="dm2", region=remote_region),
-        ]
+            MiddlewareSpec(name=f"dm{index + 1}", region=region)
+            for index, region in enumerate(middleware_regions)]
         return topology

@@ -119,6 +119,13 @@ class TransactionResult:
     phase_breakdown: Dict[str, float] = field(default_factory=dict)
     #: Number of data sources the transaction touched.
     participant_count: int = 1
+    #: True for a *clean refusal*: the middleware was already crashed when the
+    #: submission arrived, so nothing was coordinated and no branch exists
+    #: anywhere.  Only these results are safe to fail over to another
+    #: middleware; an interrupted in-flight coordination (also
+    #: ``UNAVAILABLE``) may still be committed by recovery, so resubmitting
+    #: it could duplicate the work.
+    rejected: bool = False
 
     @property
     def latency_ms(self) -> float:

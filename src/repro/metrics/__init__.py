@@ -1,6 +1,12 @@
 """Measurement utilities: latency/throughput collection, percentiles, breakdowns."""
 
-from repro.metrics.availability import AvailabilityReport, build_availability
+from repro.metrics.availability import (
+    AvailabilityReport,
+    build_availability,
+    middleware_of,
+    per_middleware_attribution,
+    per_middleware_availability,
+)
 from repro.metrics.collector import MetricsCollector, TransactionSample
 from repro.metrics.percentiles import LatencyDistribution, percentile
 from repro.metrics.timeline import ThroughputTimeline
@@ -16,5 +22,8 @@ __all__ = [
     "ThroughputTimeline",
     "TransactionSample",
     "build_availability",
+    "middleware_of",
+    "per_middleware_attribution",
+    "per_middleware_availability",
     "percentile",
 ]

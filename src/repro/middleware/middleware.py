@@ -154,7 +154,8 @@ class MiddlewareBase:
         result = TransactionResult(
             txn_id=txn_id, outcome=TxnOutcome.ABORTED,
             start_time=submitted_at, end_time=self.env.now,
-            is_distributed=False, abort_reason=AbortReason.UNAVAILABLE)
+            is_distributed=False, abort_reason=AbortReason.UNAVAILABLE,
+            rejected=True)
         self.stats.record_outcome(result)
         return result
 

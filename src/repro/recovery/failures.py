@@ -286,10 +286,7 @@ class FaultInjector:
     def _middleware(self, name: Optional[str]) -> MiddlewareBase:
         if name is None:
             return self.cluster.middlewares[0]
-        for middleware in self.cluster.middlewares:
-            if middleware.name == name:
-                return middleware
-        raise KeyError(f"no middleware named {name!r}")
+        return self.cluster.middleware_named(name)
 
     def _region_members(self, node_name: str) -> List[str]:
         """The network endpoints living in a data node's region."""

@@ -117,6 +117,37 @@ def test_run_experiment_timeline_and_multi_middleware():
     assert len(result.cluster.middlewares) == 2
 
 
+def test_middleware_count_builds_a_fleet_topology():
+    config = ExperimentConfig(system="ssp", terminals=6, duration_ms=3000,
+                              warmup_ms=500, ycsb=SMALL_YCSB,
+                              middleware_count=3)
+    result = run_experiment(config, keep_cluster=True)
+    assert [m.name for m in result.cluster.middlewares] == ["dm1", "dm2", "dm3"]
+    assert result.fleet is not None
+    assert result.fleet["middlewares"] == ["dm1", "dm2", "dm3"]
+    # Every coordinator served traffic under the default round-robin policy.
+    assert all(counters["submitted"] > 0
+               for counters in result.fleet["per_middleware"].values())
+
+
+def test_middleware_count_must_match_an_explicit_topology():
+    with pytest.raises(ValueError, match="middleware_count"):
+        run_experiment(ExperimentConfig(
+            system="ssp", duration_ms=3000, warmup_ms=500,
+            topology=TopologyConfig.multi_middleware(), middleware_count=3))
+    with pytest.raises(ValueError):
+        run_experiment(ExperimentConfig(duration_ms=3000, warmup_ms=500,
+                                        middleware_count=0))
+
+
+def test_single_middleware_runs_report_no_fleet():
+    config = ExperimentConfig(system="ssp", terminals=4, duration_ms=2000,
+                              warmup_ms=500, ycsb=SMALL_YCSB)
+    result = run_experiment(config)
+    assert result.fleet is None
+    assert "fleet" not in result.summary().to_dict()
+
+
 def test_geotp_ablation_configs_run_via_runner():
     base = GeoTPConfig()
     for variant in (base.ablation_o1(), base.ablation_o1_o2(), base.ablation_o1_o3()):

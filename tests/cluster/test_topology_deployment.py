@@ -56,6 +56,42 @@ def test_multi_middleware_topology_places_second_dm_remotely():
     assert topology.middleware_link_model(dm2, topology.data_nodes[0]).rtt_at(0) == 251.0
 
 
+def test_multi_middleware_scales_to_k_coordinators():
+    for k in (1, 3, 4):
+        topology = TopologyConfig.multi_middleware(num_middlewares=k)
+        assert [m.name for m in topology.middlewares] == [
+            f"dm{i + 1}" for i in range(k)]
+        # Beyond the legacy K=2 geo-split, the fleet is co-located.
+        if k != 2:
+            assert {m.region for m in topology.middlewares} == {"beijing"}
+    custom = TopologyConfig.multi_middleware(
+        num_middlewares=2, middleware_regions=["beijing", "beijing"])
+    assert {m.region for m in custom.middlewares} == {"beijing"}
+    with pytest.raises(ValueError):
+        TopologyConfig.multi_middleware(num_middlewares=0)
+    with pytest.raises(ValueError):
+        TopologyConfig.multi_middleware(num_middlewares=2,
+                                        middleware_regions=["beijing"])
+
+
+def test_duplicate_middleware_names_are_rejected():
+    # Txn-id prefixes key recovery ownership and per-middleware attribution,
+    # so two coordinators must never share a name.
+    with pytest.raises(ValueError, match="middleware names"):
+        TopologyConfig(data_nodes=[DataNodeSpec(name="ds0")],
+                       middlewares=[MiddlewareSpec(name="dm1"),
+                                    MiddlewareSpec(name="dm1")])
+
+
+def test_cluster_middleware_named_lookup():
+    topology = TopologyConfig.multi_middleware()
+    cluster = build_cluster("ssp", topology,
+                            ModuloPartitioner(topology.node_names()))
+    assert cluster.middleware_named("dm2").name == "dm2"
+    with pytest.raises(KeyError, match="dm9"):
+        cluster.middleware_named("dm9")
+
+
 def test_rtt_overrides_take_precedence():
     topology = TopologyConfig(
         data_nodes=[DataNodeSpec(name="ds0", region="beijing", rtt_to_dm_ms=40.0)],

@@ -76,7 +76,8 @@ def run_goldens(engine: str, *cli_args: str) -> Dict[str, Any]:
         if command == "snapshot":
             document = goldens.snapshot_document(rest[0])
         elif command == "determinism":
-            document = goldens.determinism_document()
+            document = goldens.determinism_document(rest[0] if rest else
+                                                    "default")
         elif command == "equivalence":
             reference = rest[rest.index("--reference") + 1]
             cases = (rest[rest.index("--cases") + 1:]
