@@ -13,6 +13,8 @@ compares against the committed ``BENCH_baseline.json``.  Examples::
     PYTHONPATH=src python -m repro.bench run smoke --workers 2
     PYTHONPATH=src python -m repro.bench run fig5_overall \\
         --duration-ms 5000 --terminals 16 --workers 4 --output fig5.json
+    PYTHONPATH=src python -m repro.bench run load_sweep --workers 2 \\
+        --rate-tps 400 --output knee.json
     PYTHONPATH=src python -m repro.bench perf --quick --output BENCH_ci.json
     PYTHONPATH=src python -m repro.bench perf --quick --profile --output BENCH_ci.json
     PYTHONPATH=src python -m repro.bench perf --compare BENCH_a.json BENCH_b.json
@@ -68,6 +70,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="override the warm-up window of every point")
     run.add_argument("--terminals", type=int, default=None,
                      help="override the client terminal count of every point")
+    run.add_argument("--rate-tps", type=float, default=None,
+                     help="override the offered arrival rate of every point "
+                          "(open-system scenarios only; collapses the "
+                          "rate_tps axis of load_sweep)")
     run.add_argument("--seed", type=int, default=None,
                      help="override the base RNG seed of every point")
     run.add_argument("--output", default=None,
@@ -169,7 +175,11 @@ def _result_document(result: SweepResult) -> dict:
         "rows": [
             {"params": point.params,
              "wall_clock_s": round(point.wall_clock_s, 3),
-             **point.summary.to_dict()}
+             # Environment fields (peak_rss_bytes) are wanted in CLI output —
+             # the load-sweep CI artifact reads them per point — and the CLI
+             # never diffs rows across worker layouts, so including them is
+             # safe here (unlike in the deterministic default payload).
+             **point.summary.to_dict(include_environment=True)}
             for point in result
         ],
     }
@@ -182,15 +192,23 @@ def _run_scenario(args: argparse.Namespace) -> int:
         print(exc.args[0], file=sys.stderr)
         return 2
     overrides = {"duration_ms": args.duration_ms, "warmup_ms": args.warmup_ms,
-                 "terminals": args.terminals, "seed": args.seed}
+                 "terminals": args.terminals, "seed": args.seed,
+                 "rate_tps": args.rate_tps}
     # An override naming one of the scenario's axes (e.g. --terminals for
-    # fig5_overall) collapses that axis to the single given value; otherwise
-    # the axis values would silently win over the base-config override.
+    # fig5_overall, --rate-tps for load_sweep) collapses that axis to the
+    # single given value; otherwise the axis values would silently win over
+    # the base-config override.
     axis_names = {axis.name for axis in scenario.axes}
     axes = {name: (value,) for name, value in overrides.items()
             if value is not None and name in axis_names}
     base = {name: value for name, value in overrides.items()
             if name not in axis_names}
+    if base.get("rate_tps") is not None:
+        # Not an ExperimentConfig field: the rate lives on the arrival config
+        # (which only open-system scenarios carry — others fail loudly below).
+        base["arrival__rate_tps"] = base.pop("rate_tps")
+    else:
+        base.pop("rate_tps", None)
     try:
         sweep = scenario.sweep(axes=axes, **base)
         # Some scenarios derive these fields per point (fig11b computes the
@@ -198,7 +216,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
         # repeat axis); tell the user instead of silently ignoring the flag.
         points = sweep.points()
         for name, value in base.items():
-            if value is None:
+            if value is None or "__" in name:  # dotted overrides: no 1:1 field
                 continue
             if any(getattr(point.config, name) != value for point in points):
                 flag = "--" + name.replace("_", "-")
@@ -206,7 +224,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
                       f"{scenario.name!r} and was ignored for some points",
                       file=sys.stderr)
         result = SweepRunner(max_workers=args.workers).run(sweep)
-    except ValueError as exc:
+    except (AttributeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     document = json.dumps(_result_document(result), indent=2)
@@ -316,12 +334,18 @@ def _run_perf(args: argparse.Namespace) -> int:
             print("error: --require-baseline set and no baseline was loaded",
                   file=sys.stderr)
             return 1
+    status = 0
     regressions = document.get("regressions", [])
     if regressions:
         print(f"PERF REGRESSION (> {args.threshold:.0%} slower than baseline): "
               f"{', '.join(regressions)}", file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    rss_regressions = document.get("rss_regressions", [])
+    if rss_regressions:
+        print(f"RSS REGRESSION (> {args.threshold:.0%} more peak memory than "
+              f"baseline): {', '.join(rss_regressions)}", file=sys.stderr)
+        status = 1
+    return status
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -99,10 +99,28 @@ def fleet_failover_config() -> ExperimentConfig:
     return sweep.points()[0].config
 
 
+def load_sweep_config() -> ExperimentConfig:
+    """The open-system determinism pin: one saturated ``load_sweep`` point.
+
+    Derived from the registered scenario at reduced scale, past the knee
+    (the arrival generator, the bounded pool's shed/reuse churn and the
+    streaming collector's reservoirs all must replay bit for bit).
+    """
+    from repro.bench.scenarios import get_scenario
+
+    sweep = get_scenario("load_sweep").sweep(
+        axes={"system": ["geotp"], "rate_tps": [320.0]},
+        duration_ms=5_000.0, warmup_ms=1_000.0,
+        ycsb__records_per_node=1_000, ycsb__preload_rows_per_node=200,
+        arrival__max_clients=128)
+    return sweep.points()[0].config
+
+
 #: Named same-seed determinism runs (``determinism [name]``).
 DETERMINISM_CONFIGS = {
     "default": determinism_config,
     "fleet_failover": fleet_failover_config,
+    "load_sweep": load_sweep_config,
 }
 
 

@@ -28,7 +28,6 @@ from __future__ import annotations
 import cProfile
 import json
 import pstats
-import resource
 import sys
 import time
 from dataclasses import dataclass
@@ -36,6 +35,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.parallel import SweepRunner
 from repro.bench.scenarios import get_scenario
+from repro.metrics.resources import process_peak_rss_bytes
 from repro.sim.engine import active_engine
 
 #: Scenarios timed by ``perf --quick`` (the CI gate).
@@ -51,16 +51,10 @@ DEFAULT_THRESHOLD = 0.30
 DEFAULT_HISTORY = "BENCH_history.jsonl"
 
 
-def peak_rss_bytes() -> int:
-    """Peak resident set size of this process, in bytes.
-
-    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalise to
-    bytes.  The value is a high-water mark for the whole process lifetime.
-    """
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    if sys.platform == "darwin":  # pragma: no cover - linux container in CI
-        return int(peak)
-    return int(peak * 1024)
+#: Peak resident set size of this process, in bytes (canonical helper lives
+#: in :mod:`repro.metrics.resources` so the runner can record per-experiment
+#: RSS without importing the bench-suite machinery).
+peak_rss_bytes = process_peak_rss_bytes
 
 
 @dataclass
@@ -139,7 +133,7 @@ def measure_scenario(name: str, repeats: int = 3, max_workers: int = 1,
 
 @dataclass
 class Comparison:
-    """One scenario's wall clock measured against the committed baseline."""
+    """One scenario's wall clock *and peak RSS* measured against the baseline."""
 
     scenario: str
     wall_clock_s: float
@@ -147,6 +141,13 @@ class Comparison:
     #: current / baseline; > 1 means slower than the baseline.
     ratio: Optional[float]
     regression: bool
+    #: Peak RSS of the current run / the baseline's, same threshold as wall
+    #: clock — a streaming-metrics leak shows up here long before it shows up
+    #: in wall time.
+    peak_rss_bytes: int = 0
+    baseline_peak_rss_bytes: Optional[int] = None
+    rss_ratio: Optional[float] = None
+    rss_regression: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         """The ``baseline_comparison`` entry of a ``BENCH_<tag>.json`` document."""
@@ -158,16 +159,23 @@ class Comparison:
                 if self.baseline_wall_clock_s is not None else None),
             "ratio": round(self.ratio, 3) if self.ratio is not None else None,
             "regression": self.regression,
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "baseline_peak_rss_bytes": self.baseline_peak_rss_bytes,
+            "rss_ratio": (round(self.rss_ratio, 3)
+                          if self.rss_ratio is not None else None),
+            "rss_regression": self.rss_regression,
         }
 
 
 def compare_to_baseline(metrics: Sequence[PerfMetrics], baseline: Dict[str, Any],
                         threshold: float = DEFAULT_THRESHOLD) -> List[Comparison]:
-    """Compare measured wall clocks against a loaded baseline document.
+    """Compare measured wall clocks and peak RSS against a loaded baseline.
 
     A scenario regresses when it is more than ``threshold`` slower than its
-    baseline entry (ratio > 1 + threshold).  Scenarios absent from the
-    baseline are reported with ``ratio=None`` and never count as regressions.
+    baseline entry (ratio > 1 + threshold); peak RSS gets the same gate
+    independently (``rss_regression``).  Scenarios absent from the baseline
+    are reported with null ratios and never count as regressions, as are
+    baselines recorded before the RSS fields existed.
     """
     by_name = {m["scenario"]: m for m in baseline.get("metrics", [])}
     out: List[Comparison] = []
@@ -175,12 +183,20 @@ def compare_to_baseline(metrics: Sequence[PerfMetrics], baseline: Dict[str, Any]
         base = by_name.get(metric.scenario)
         if base is None or not base.get("wall_clock_s"):
             out.append(Comparison(metric.scenario, metric.wall_clock_s,
-                                  None, None, False))
+                                  None, None, False,
+                                  peak_rss_bytes=metric.peak_rss_bytes))
             continue
         ratio = metric.wall_clock_s / base["wall_clock_s"]
-        out.append(Comparison(metric.scenario, metric.wall_clock_s,
-                              base["wall_clock_s"], ratio,
-                              ratio > 1.0 + threshold))
+        comparison = Comparison(metric.scenario, metric.wall_clock_s,
+                                base["wall_clock_s"], ratio,
+                                ratio > 1.0 + threshold,
+                                peak_rss_bytes=metric.peak_rss_bytes)
+        base_rss = base.get("peak_rss_bytes")
+        if base_rss:
+            comparison.baseline_peak_rss_bytes = base_rss
+            comparison.rss_ratio = metric.peak_rss_bytes / base_rss
+            comparison.rss_regression = comparison.rss_ratio > 1.0 + threshold
+        out.append(comparison)
     return out
 
 
@@ -207,6 +223,8 @@ def build_document(tag: str, metrics: Sequence[PerfMetrics],
     if comparisons is not None:
         doc["baseline_comparison"] = [c.to_dict() for c in comparisons]
         doc["regressions"] = sorted(c.scenario for c in comparisons if c.regression)
+        doc["rss_regressions"] = sorted(c.scenario for c in comparisons
+                                        if c.rss_regression)
     if reference:
         doc["reference"] = dict(reference)
     return doc
@@ -389,8 +407,11 @@ def compare_documents(doc_a: Dict[str, Any],
             "wall_clock_b_s": b["wall_clock_s"] if b else None,
             "events_per_sec_a": a["events_per_sec"] if a else None,
             "events_per_sec_b": b["events_per_sec"] if b else None,
+            "peak_rss_a_bytes": a.get("peak_rss_bytes") if a else None,
+            "peak_rss_b_bytes": b.get("peak_rss_bytes") if b else None,
             "speedup": None,
             "events_per_sec_delta": None,
+            "peak_rss_delta": None,
         }
         if a and b and b["wall_clock_s"]:
             row["speedup"] = round(a["wall_clock_s"] / b["wall_clock_s"], 3)
@@ -398,6 +419,11 @@ def compare_documents(doc_a: Dict[str, Any],
             row["events_per_sec_delta"] = round(
                 (b["events_per_sec"] - a["events_per_sec"])
                 / a["events_per_sec"], 3)
+        if (a and b and a.get("peak_rss_bytes")
+                and b.get("peak_rss_bytes") is not None):
+            row["peak_rss_delta"] = round(
+                (b["peak_rss_bytes"] - a["peak_rss_bytes"])
+                / a["peak_rss_bytes"], 3)
         rows.append(row)
     return rows
 
@@ -408,16 +434,24 @@ def format_comparison(rows: Sequence[Dict[str, Any]],
     header = (f"{'scenario':<24} {'wall ' + labels[0]:>10} "
               f"{'wall ' + labels[1]:>10} {'speedup':>8} "
               f"{'ev/s ' + labels[0]:>12} {'ev/s ' + labels[1]:>12} "
-              f"{'ev/s delta':>10}")
+              f"{'ev/s delta':>10} "
+              f"{'rss ' + labels[0]:>9} {'rss ' + labels[1]:>9} "
+              f"{'rss delta':>9}")
     lines = [header, "-" * len(header)]
     for row in rows:
         def fmt(value, pattern):
             return pattern.format(value) if value is not None else "-"
+
+        def fmt_rss(value):
+            return f"{value / 2**20:.1f}M" if value is not None else "-"
         lines.append(
             f"{row['scenario']:<24} {fmt(row['wall_clock_a_s'], '{:.4f}'):>10} "
             f"{fmt(row['wall_clock_b_s'], '{:.4f}'):>10} "
             f"{fmt(row['speedup'], '{:.2f}x'):>8} "
             f"{fmt(row['events_per_sec_a'], '{:,.0f}'):>12} "
             f"{fmt(row['events_per_sec_b'], '{:,.0f}'):>12} "
-            f"{fmt(row['events_per_sec_delta'], '{:+.1%}'):>10}")
+            f"{fmt(row['events_per_sec_delta'], '{:+.1%}'):>10} "
+            f"{fmt_rss(row.get('peak_rss_a_bytes')):>9} "
+            f"{fmt_rss(row.get('peak_rss_b_bytes')):>9} "
+            f"{fmt(row.get('peak_rss_delta'), '{:+.1%}'):>9}")
     return "\n".join(lines)

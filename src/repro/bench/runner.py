@@ -19,19 +19,28 @@ from repro.sim.engine import active_engine
 from repro.cluster.client import start_terminals
 from repro.cluster.deployment import Cluster, build_cluster
 from repro.cluster.fleet import FleetConfig, MiddlewareFleet, RetryPolicy
+from repro.cluster.open_loop import OpenClientPool
 from repro.cluster.topology import TopologyConfig
 from repro.core.config import GeoTPConfig
-from repro.metrics.breakdown import PhaseBreakdown
-from repro.metrics.collector import MetricsCollector
+from repro.metrics.collector import MetricsCollector, StreamingMetricsCollector
 from repro.metrics.percentiles import LatencyDistribution
-from repro.metrics.resources import ResourceUsage
+from repro.metrics.resources import ResourceUsage, process_peak_rss_bytes
 from repro.metrics.timeline import ThroughputTimeline
 from repro.middleware.middleware import MiddlewareConfig
 from repro.plugins import get_workload_plugin
 from repro.recovery.failures import FaultInjector, FaultPlan
+from repro.workloads.arrivals import ArrivalConfig
 from repro.workloads.base import Workload, WorkloadConfig
 from repro.workloads.tpcc import TPCCConfig
 from repro.workloads.ycsb import YCSBConfig
+
+#: Simulated milliseconds between GC pauses while the event loop runs with the
+#: cyclic collector suspended.  One collection per 30 simulated seconds reaps
+#: incidental cycles created by model code before they amount to anything,
+#: while short benchmark points (≤ 30 s) keep a completely pause-free hot
+#: loop.  Slicing ``env.run`` at these boundaries does not reorder events, so
+#: results are byte-identical to an unsliced run.
+_GC_SLICE_MS = 30_000.0
 
 
 @dataclass
@@ -78,7 +87,25 @@ class ExperimentConfig:
     #: wires up a :class:`~repro.recovery.failures.FaultInjector` and the
     #: summary carries the fault/availability report in ``faults``.
     fault_plan: Optional[FaultPlan] = None
+    #: Open-system traffic shape.  ``None`` (the default) keeps the
+    #: closed-loop terminal model; setting it replaces the terminals with an
+    #: :class:`~repro.cluster.open_loop.OpenClientPool` driven at
+    #: ``arrival.rate_tps`` — the sweepable offered-load axis
+    #: (``arrival.rate_tps`` in scenario specs).
+    arrival: Optional[ArrivalConfig] = None
+    #: Metrics representation.  ``None`` auto-selects: streaming (O(1) memory,
+    #: reservoir percentiles) for open-system runs, retained (exact, O(n))
+    #: otherwise.  ``True``/``False`` force one — closed-loop runs keep the
+    #: retained collector by default so every golden pin stays byte-identical.
+    streaming_metrics: Optional[bool] = None
     seed: int = 0
+
+    @property
+    def use_streaming_metrics(self) -> bool:
+        """The resolved metrics mode (see ``streaming_metrics``)."""
+        if self.streaming_metrics is None:
+            return self.arrival is not None
+        return self.streaming_metrics
 
 
 @dataclass
@@ -125,6 +152,22 @@ class ExperimentSummary:
     #: ran the experiment — for sweeps on a worker pool that is the *worker*,
     #: which inherits ``REPRO_ENGINE`` through the environment.
     engine: str = ""
+    #: ``"retained"`` or ``"streaming"`` — which collector produced the
+    #: numbers.  Under streaming metrics the latency sample fields above hold
+    #: fixed-size reservoir samples, not the full stream.
+    metrics_mode: str = "retained"
+    #: Offered-vs-served accounting of an open-system run (arrival process,
+    #: offered/started/dropped/completed counts, peak concurrent sessions);
+    #: ``None`` for closed-loop runs.  See ``OpenClientPool.report``.
+    open_loop: Optional[Dict[str, Any]] = None
+    #: Admission-control counters summed over middlewares that expose a
+    #: ``LateTransactionScheduler`` (GeoTP, ScalarDB+); ``None`` otherwise.
+    admission: Optional[Dict[str, int]] = None
+    #: Peak RSS (bytes) of the process that ran this experiment, read after
+    #: the run.  A whole-process high-water mark: points sharing a pooled
+    #: sweep worker see monotonically increasing values, so treat it as an
+    #: upper bound there (fresh subprocesses give isolated readings).
+    peak_rss_bytes: int = 0
 
     # ------------------------------------------------------------ conveniences
     @property
@@ -146,8 +189,16 @@ class ExperimentSummary:
                 round(self.average_latency_ms, 1), round(self.p99_latency_ms, 1),
                 round(self.abort_rate * 100, 1))
 
-    def to_dict(self, include_samples: bool = False) -> Dict:
-        """A JSON-serialisable dict (the CLI output format)."""
+    def to_dict(self, include_samples: bool = False,
+                include_environment: bool = False) -> Dict:
+        """A JSON-serialisable dict (the CLI output format).
+
+        The default payload is fully determined by (config, seed, engine) —
+        the serial-vs-parallel identity checks compare it directly.
+        ``include_environment`` adds measurements of the *process* that ran
+        the point (``peak_rss_bytes``), which legitimately differ between a
+        serial run and a pool worker.
+        """
         out = {
             "system": self.system,
             "workload": self.workload,
@@ -164,6 +215,7 @@ class ExperimentSummary:
             "abort_reasons": dict(self.abort_reasons),
             "events_processed": self.events_processed,
             "engine": self.engine,
+            "metrics_mode": self.metrics_mode,
             "resources": {
                 "work_units": self.resources.work_units,
                 "wan_messages": self.resources.wan_messages,
@@ -181,6 +233,12 @@ class ExperimentSummary:
             out["faults"] = self.faults
         if self.fleet is not None:
             out["fleet"] = self.fleet
+        if self.open_loop is not None:
+            out["open_loop"] = self.open_loop
+        if self.admission is not None:
+            out["admission"] = self.admission
+        if include_environment:
+            out["peak_rss_bytes"] = self.peak_rss_bytes
         if include_samples:
             out["latency_samples"] = list(self.latency_samples)
         return out
@@ -216,6 +274,11 @@ class ExperimentResult:
     fleet: Optional[Dict[str, Any]] = None
     #: Simulation engine the run executed on (``pure`` or ``compiled``).
     engine: str = ""
+    #: See the same-named ``ExperimentSummary`` fields.
+    metrics_mode: str = "retained"
+    open_loop: Optional[Dict[str, Any]] = None
+    admission: Optional[Dict[str, int]] = None
+    peak_rss_bytes: int = 0
 
     # ------------------------------------------------------------ conveniences
     def throughput_for(self, txn_type: str) -> float:
@@ -265,6 +328,10 @@ class ExperimentResult:
             faults=self.faults,
             fleet=self.fleet,
             engine=self.engine,
+            metrics_mode=self.metrics_mode,
+            open_loop=self.open_loop,
+            admission=self.admission,
+            peak_rss_bytes=self.peak_rss_bytes,
         )
 
 
@@ -323,7 +390,13 @@ def run_experiment(config: ExperimentConfig,
                             seed=config.seed)
     cluster.load_workload(workload)
 
-    collector = MetricsCollector(warmup_ms=config.warmup_ms)
+    needs_fleet = config.fleet is not None or config.middleware_count > 1
+    if config.use_streaming_metrics:
+        collector: MetricsCollector = StreamingMetricsCollector(
+            warmup_ms=config.warmup_ms, duration_ms=config.duration_ms,
+            seed=config.seed, track_middlewares=needs_fleet)
+    else:
+        collector = MetricsCollector(warmup_ms=config.warmup_ms)
     timeline = (ThroughputTimeline(bucket_ms=config.timeline_bucket_ms)
                 if config.timeline_bucket_ms else None)
 
@@ -344,51 +417,75 @@ def run_experiment(config: ExperimentConfig,
     # default it.
     fleet = None
     retry = config.retry
-    if config.fleet is not None or config.middleware_count > 1:
+    if needs_fleet:
         fleet = MiddlewareFleet(cluster.env, cluster.middlewares,
                                 config.fleet or FleetConfig())
         if retry is None:
             retry = RetryPolicy()
 
-    start_terminals(cluster.env, cluster.middlewares, workload, collector,
-                    terminal_count=config.terminals, duration_ms=config.duration_ms,
-                    timeline=timeline, fleet=fleet, retry=retry,
-                    seed=config.seed)
-    # The event loop allocates heavily but creates no cycles it relies on
-    # collecting mid-run; suspending the cyclic GC removes its pauses from
-    # the hot loop (it is restored — and the cycles reaped — afterwards).
+    open_pool = None
+    if config.arrival is not None:
+        open_pool = OpenClientPool(
+            cluster.env, cluster.middlewares, workload, collector,
+            arrival=config.arrival.stamped(config.seed),
+            duration_ms=config.duration_ms, timeline=timeline,
+            fleet=fleet, retry=retry, seed=config.seed)
+    else:
+        start_terminals(cluster.env, cluster.middlewares, workload, collector,
+                        terminal_count=config.terminals,
+                        duration_ms=config.duration_ms,
+                        timeline=timeline, fleet=fleet, retry=retry,
+                        seed=config.seed)
+    # Suspending the cyclic GC removes its pauses from the hot loop.  Finished
+    # processes are reclaimed by plain refcounting (the kernel breaks their one
+    # reference cycle at completion), so garbage does not accumulate with run
+    # length — but model code can still create incidental cycles, so long runs
+    # are sliced and any residue reaped at slice boundaries.  Slicing is
+    # invisible to the simulation: ``run(until=t)`` pauses the deterministic
+    # dispatch order without reordering it, and collection touches no
+    # simulation state, so goldens are byte-identical with or without it.
     gc_was_enabled = gc.isenabled()
     if gc_was_enabled:
         gc.disable()
     try:
-        cluster.env.run(until=config.duration_ms)
+        next_pause = min(config.duration_ms, _GC_SLICE_MS)
+        while True:
+            cluster.env.run(until=next_pause)
+            if next_pause >= config.duration_ms:
+                break
+            gc.collect()
+            next_pause = min(config.duration_ms, next_pause + _GC_SLICE_MS)
     finally:
         if gc_was_enabled:
             gc.enable()
 
     fleet_report = None
     if fleet is not None:
-        from repro.metrics.availability import (
-            per_middleware_attribution,
-            per_middleware_availability,
-        )
-
         fleet_report = fleet.summary()
-        # Attribution is derived from the recorded samples (txn-id prefixes),
-        # so it sums exactly to the collector's committed/aborted totals —
-        # the invariant the zero-lost/zero-duplicated checks assert.
-        fleet_report["attribution"] = per_middleware_attribution(
-            collector.samples)
+        # Attribution is derived per middleware, so it sums exactly to the
+        # collector's committed/aborted totals — the invariant the
+        # zero-lost/zero-duplicated checks assert.  The accessors dispatch to
+        # the retained samples or the streaming accumulators, whichever this
+        # run used.
+        fleet_report["attribution"] = collector.attribution()
         fleet_report["availability_per_middleware"] = {
             name: report.to_dict()
-            for name, report in per_middleware_availability(
-                collector.samples, config.duration_ms,
-                start_ms=collector.warmup_ms).items()}
+            for name, report in collector.per_middleware_availability(
+                config.duration_ms).items()}
+
+    admission_report = None
+    schedulers = [m.admission for m in cluster.middlewares
+                  if getattr(m, "admission", None) is not None]
+    if schedulers:
+        admission_report = {
+            "admitted": sum(s.admitted_count for s in schedulers),
+            "blocked": sum(s.blocked_count for s in schedulers),
+            "rejected": sum(s.rejected_count for s in schedulers),
+        }
 
     measured = config.duration_ms - config.warmup_ms
     latency = collector.latency_distribution()
-    breakdown = PhaseBreakdown()
-    breakdown.record_many(s.phase_breakdown for s in collector.samples if s.committed)
+    breakdown = collector.phase_breakdown()
 
     resources = ResourceUsage(
         work_units=sum(m.stats.work_units for m in cluster.middlewares),
@@ -420,4 +517,8 @@ def run_experiment(config: ExperimentConfig,
                 if fault_injector is not None else None),
         fleet=fleet_report,
         engine=active_engine(),
+        metrics_mode="streaming" if config.use_streaming_metrics else "retained",
+        open_loop=open_pool.report() if open_pool is not None else None,
+        admission=admission_report,
+        peak_rss_bytes=process_peak_rss_bytes(),
     )

@@ -8,6 +8,7 @@ from repro.cluster.topology import (
 )
 from repro.cluster.deployment import Cluster, build_cluster
 from repro.cluster.client import ClientTerminal, start_terminals
+from repro.cluster.open_loop import OpenClientPool
 from repro.cluster.fleet import (
     FleetConfig,
     HealthState,
@@ -37,6 +38,7 @@ __all__ = [
     "HealthState",
     "MiddlewareFleet",
     "MiddlewareSpec",
+    "OpenClientPool",
     "RetryPolicy",
     "SUPPORTED_SYSTEMS",
     "TopologyConfig",

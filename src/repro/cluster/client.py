@@ -53,7 +53,8 @@ class ClientTerminal:
                  stop_at_ms: float, timeline: Optional[ThroughputTimeline] = None,
                  think_time_ms: float = 0.0,
                  fleet: Optional[MiddlewareFleet] = None,
-                 retry: Optional[RetryPolicy] = None, seed: int = 0):
+                 retry: Optional[RetryPolicy] = None, seed: int = 0,
+                 autostart: bool = True):
         self.env = env
         self.terminal_id = terminal_id
         self.middleware = middleware
@@ -73,9 +74,15 @@ class ClientTerminal:
         self._retry_rng = (SeededRNG(seed).spawn(terminal_id)
                            if retry is not None else None)
         self._unavailable_streak = 0
-        self.process: Process = env.process(self._run(),
-                                            name=f"terminal-{terminal_id}",
-                                            daemon=True)
+        # ``autostart=False`` builds the terminal as a pure submitter — no
+        # closed loop is started; the open-system pool
+        # (:class:`~repro.cluster.open_loop.OpenClientPool`) drives
+        # :meth:`_submit` one arrival at a time, reusing the exact fleet
+        # failover/retry discipline above instead of duplicating it.
+        self.process: Optional[Process] = (
+            env.process(self._run(), name=f"terminal-{terminal_id}",
+                        daemon=True)
+            if autostart else None)
 
     # ------------------------------------------------------------------ loop
     def _run(self):

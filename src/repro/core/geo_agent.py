@@ -18,8 +18,9 @@ that commit, rollback and recovery traffic flow through it unchanged.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import Deque, Dict, Optional, Set
 
 from repro.common import AbortReason, SubtxnResult, Vote
 from repro import protocol
@@ -36,6 +37,14 @@ class GeoAgentConfig:
     #: Extra processing cost per forwarded message (encode/decode, Fig. 6c "Others").
     forward_overhead_ms: float = 0.1
     enable_early_abort: bool = True
+    #: How many global-txn-id -> branch-xid mappings (and poisoned ids) the
+    #: agent remembers.  The mappings only matter while a transaction is in
+    #: flight — a peer rollback for an id nobody remembers is simply re-poisoned
+    #: — so the cap just needs to exceed the maximum concurrent transactions
+    #: through one agent.  Without it the agent's bookkeeping grows by two
+    #: strings per distributed transaction forever, which open-system runs at
+    #: 10⁶+ transactions turn into hundreds of megabytes.
+    xid_retention: Optional[int] = 4_096
 
 
 #: Verbs forwarded verbatim to the co-located data source.
@@ -85,6 +94,10 @@ class GeoAgent:
         self._local_xids: Dict[str, str] = {}
         #: Global transaction ids aborted by a peer before we even saw them.
         self._poisoned: Set[str] = set()
+        # FIFO of ids in insertion order, shared by both structures above:
+        # once the retention cap is exceeded the oldest ids — long finished —
+        # are forgotten, keeping agent bookkeeping O(1) with run length.
+        self._xid_order: Deque[str] = deque()
         # Verb dispatch table, built once: ``_dispatch`` consults it per message.
         self._handlers = {protocol.MSG_AGENT_EXECUTE: self._on_agent_execute,
                           protocol.MSG_AGENT_PREPARE: self._on_agent_prepare,
@@ -130,7 +143,7 @@ class GeoAgent:
         is_last = bool(payload.get("is_last", False))
         decentralized = bool(payload.get("decentralized_prepare", False))
         self.stats.executes += 1
-        self._local_xids[global_txn_id] = xid
+        self._remember_xid(global_txn_id, xid)
 
         yield self.config.forward_overhead_ms
 
@@ -174,7 +187,8 @@ class GeoAgent:
         global_txn_id = payload.get("global_txn_id", xid)
         coordinator = payload.get("coordinator", message.sender)
         peers = list(payload.get("peers", []))
-        self._local_xids.setdefault(global_txn_id, xid)
+        if global_txn_id not in self._local_xids:
+            self._remember_xid(global_txn_id, xid)
         yield self.config.forward_overhead_ms
         if message.reply_event is not None:
             self.net.reply(message, {"status": "ok"})
@@ -232,7 +246,7 @@ class GeoAgent:
         if xid is None:
             # We have not executed anything yet; poison the id so a late
             # execute is rejected immediately instead of doing useless work.
-            self._poisoned.add(global_txn_id)
+            self._poison(global_txn_id)
             yield self.env.timeout(0)
             return
         yield self.net.request(self.datasource, protocol.MSG_XA_ROLLBACK, {"xid": xid})
@@ -240,6 +254,37 @@ class GeoAgent:
             self._send_state(coordinator, global_txn_id, protocol.STATE_ROLLBACKED)
 
     # ------------------------------------------------------------------ helpers
+    def _remember_xid(self, global_txn_id: str, xid: str) -> None:
+        """Record the local branch xid for a global transaction (bounded)."""
+        if global_txn_id not in self._local_xids:
+            self._track(global_txn_id)
+        self._local_xids[global_txn_id] = xid
+
+    def _poison(self, global_txn_id: str) -> None:
+        """Mark a never-seen transaction as aborted-by-peer (bounded)."""
+        if global_txn_id not in self._poisoned:
+            self._track(global_txn_id)
+            self._poisoned.add(global_txn_id)
+
+    def _track(self, global_txn_id: str) -> None:
+        """Enter an id into the retention FIFO, forgetting the oldest ids.
+
+        Retention only needs to outlast a transaction's in-flight window (the
+        client pool bounds concurrency far below the default cap of 4096), so
+        forgetting the oldest ids never touches a live transaction.  A stale
+        peer rollback for a forgotten id takes the poison path, exactly as if
+        the rollback had arrived before the execute.
+        """
+        retention = self.config.xid_retention
+        if retention is None:
+            return
+        order = self._xid_order
+        order.append(global_txn_id)
+        while len(order) > retention:
+            old = order.popleft()
+            self._local_xids.pop(old, None)
+            self._poisoned.discard(old)
+
     def _send_state(self, coordinator: Optional[str], global_txn_id: str,
                     state: str) -> None:
         if not coordinator:

@@ -2,23 +2,37 @@
 
 from repro.metrics.availability import (
     AvailabilityReport,
+    StreamingAvailability,
     build_availability,
     middleware_of,
     per_middleware_attribution,
     per_middleware_availability,
 )
-from repro.metrics.collector import MetricsCollector, TransactionSample
-from repro.metrics.percentiles import LatencyDistribution, percentile
+from repro.metrics.collector import (
+    MetricsCollector,
+    StreamingMetricsCollector,
+    TransactionSample,
+)
+from repro.metrics.percentiles import (
+    DEFAULT_RESERVOIR_SIZE,
+    LatencyDistribution,
+    StreamingLatencyDistribution,
+    percentile,
+)
 from repro.metrics.timeline import ThroughputTimeline
 from repro.metrics.breakdown import PhaseBreakdown
-from repro.metrics.resources import ResourceUsage
+from repro.metrics.resources import ResourceUsage, process_peak_rss_bytes
 
 __all__ = [
     "AvailabilityReport",
+    "DEFAULT_RESERVOIR_SIZE",
     "LatencyDistribution",
     "MetricsCollector",
     "PhaseBreakdown",
     "ResourceUsage",
+    "StreamingAvailability",
+    "StreamingLatencyDistribution",
+    "StreamingMetricsCollector",
     "ThroughputTimeline",
     "TransactionSample",
     "build_availability",
@@ -26,4 +40,5 @@ __all__ = [
     "per_middleware_attribution",
     "per_middleware_availability",
     "percentile",
+    "process_peak_rss_bytes",
 ]

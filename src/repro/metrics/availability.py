@@ -95,6 +95,61 @@ class AvailabilityReport:
         }
 
 
+def _bucket_grid(duration_ms: float, bucket_ms: float,
+                 start_ms: float) -> int:
+    """Number of buckets spanning ``[start_ms, duration_ms)`` (shared by the
+    post-hoc builder and the streaming accumulator so their grids always
+    coincide)."""
+    if bucket_ms <= 0:
+        raise ValueError("bucket_ms must be positive")
+    if not 0 <= start_ms < duration_ms:
+        raise ValueError("start_ms must lie inside [0, duration_ms)")
+    span = duration_ms - start_ms
+    return max(int(span // bucket_ms) + (1 if span % bucket_ms else 0), 1)
+
+
+class StreamingAvailability:
+    """Incrementally bucketed commit/abort counts on a fixed time grid.
+
+    The post-hoc :func:`build_availability` walks every retained sample after
+    the run — O(n) memory in the collector.  This accumulator is its
+    record-time twin: the bucket grid is allocated up front from the known run
+    duration (O(duration / bucket_ms), independent of transaction count) and
+    each completion costs one index computation.  :meth:`report` emits an
+    :class:`AvailabilityReport` identical to what :func:`build_availability`
+    would build from the same stream — a pinned test asserts the equality.
+    """
+
+    __slots__ = ("bucket_ms", "start_ms", "_committed", "_aborted", "_count")
+
+    def __init__(self, duration_ms: float, bucket_ms: float = 1000.0,
+                 start_ms: float = 0.0):
+        self._count = _bucket_grid(duration_ms, bucket_ms, start_ms)
+        self.bucket_ms = bucket_ms
+        self.start_ms = start_ms
+        self._committed = [0] * self._count
+        self._aborted = [0] * self._count
+
+    def record(self, finished_at_ms: float, committed: bool) -> None:
+        """Count one transaction completion (same clamping as the builder)."""
+        index = int((finished_at_ms - self.start_ms) // self.bucket_ms)
+        if index < 0:
+            index = 0
+        elif index >= self._count:
+            index = self._count - 1
+        if committed:
+            self._committed[index] += 1
+        else:
+            self._aborted[index] += 1
+
+    def report(self) -> AvailabilityReport:
+        """The accumulated buckets as an :class:`AvailabilityReport`."""
+        buckets = [(self.start_ms + index * self.bucket_ms,
+                    self._committed[index], self._aborted[index])
+                   for index in range(self._count)]
+        return AvailabilityReport(bucket_ms=self.bucket_ms, buckets=buckets)
+
+
 def build_availability(samples: Iterable, duration_ms: float,
                        bucket_ms: float = 1000.0,
                        start_ms: float = 0.0) -> AvailabilityReport:
@@ -107,12 +162,7 @@ def build_availability(samples: Iterable, duration_ms: float,
     instead of being silently truncated; pass the collector's warm-up window
     as ``start_ms`` so no bucket covers time that could never hold a sample.
     """
-    if bucket_ms <= 0:
-        raise ValueError("bucket_ms must be positive")
-    if not 0 <= start_ms < duration_ms:
-        raise ValueError("start_ms must lie inside [0, duration_ms)")
-    span = duration_ms - start_ms
-    count = max(int(span // bucket_ms) + (1 if span % bucket_ms else 0), 1)
+    count = _bucket_grid(duration_ms, bucket_ms, start_ms)
     committed = [0] * count
     aborted = [0] * count
     for sample in samples:

@@ -16,7 +16,25 @@ reproduction reports two proxies with the same comparative story:
 
 from __future__ import annotations
 
+import resource
+import sys
 from dataclasses import dataclass
+
+
+def process_peak_rss_bytes() -> int:
+    """Peak resident set size of the *calling process*, in bytes.
+
+    Unlike the proxies above, this is real process memory — the flat-RSS
+    claim of the open-system load engine is asserted against it.
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalise to
+    bytes.  The value is a high-water mark for the whole process lifetime,
+    so per-experiment readings taken from a pooled worker are upper bounds,
+    not isolated measurements (fresh subprocesses give clean ones).
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux container in CI
+        return int(peak)
+    return int(peak * 1024)
 
 
 @dataclass

@@ -432,11 +432,10 @@ class FaultInjector:
     def summarize(self, collector: "MetricsCollector", duration_ms: float,
                   bucket_ms: float = 1000.0) -> Dict[str, Any]:
         """The picklable fault report stored in ``ExperimentSummary.faults``."""
-        from repro.metrics.availability import build_availability
-
-        availability = build_availability(collector.samples, duration_ms,
-                                          bucket_ms=bucket_ms,
-                                          start_ms=collector.warmup_ms)
+        # The accessor dispatches to retained samples or the streaming
+        # accumulator, so fault runs work under either metrics mode.
+        availability = collector.availability_report(duration_ms,
+                                                     bucket_ms=bucket_ms)
         time_to_recover: Dict[str, Any] = {}
         for event in self.plan.events:
             if event.duration_ms <= 0:

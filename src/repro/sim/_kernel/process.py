@@ -173,6 +173,15 @@ class Process(Event):
                 env.active_process = None
                 self._ok = True
                 self._value = stop.value
+                # Drop the sleep carrier: its ``partial(self._resume, ...)``
+                # closes the only reference *cycle* a finished process sits
+                # on, so clearing it here lets plain refcounting reclaim the
+                # process, its generator and their bound methods immediately —
+                # long runs stay O(1) in memory even with the cyclic GC
+                # suspended (see ``bench.runner``).  The carrier cannot be
+                # armed at this point: an armed carrier means the process is
+                # sleeping, not returning.
+                self._sleep = None
                 if self._daemon and not self.callbacks:
                     # Fire-and-forget completion: mark processed in place.
                     self.callbacks = None
@@ -183,6 +192,7 @@ class Process(Event):
                 env.active_process = None
                 self._ok = False
                 self._value = exc
+                self._sleep = None
                 env._soon.append(self)
                 return
 
@@ -198,6 +208,7 @@ class Process(Event):
                         error = ValueError(f"negative delay {next_event}")
                         self._ok = False
                         self._value = error
+                        self._sleep = None
                         env._soon.append(self)
                         return
                     entry = self._sleep
@@ -214,6 +225,7 @@ class Process(Event):
                     f"process {self.name!r} yielded a non-event: {next_event!r}")
                 self._ok = False
                 self._value = bad
+                self._sleep = None
                 env._soon.append(self)
                 return
 

@@ -17,8 +17,9 @@ Supported verbs (see :mod:`repro.protocol`):
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Deque, Dict, Hashable, List, Optional, Tuple
 
 from repro.common import AbortReason, Operation, OperationResult, OpType, SubtxnResult, Vote
 from repro import protocol
@@ -47,6 +48,13 @@ class DataSourceConfig:
     #: Extra fixed cost charged per request for parsing / session handling.
     request_overhead_ms: float = 0.1
     enable_deadlock_detection: bool = False
+    #: How many *finished* (committed/aborted) branches stay queryable for
+    #: idempotent decision re-delivery and ``txn_state`` probes before being
+    #: evicted, oldest first.  Unfinished and PREPARED branches are never
+    #: evicted.  ``None`` retains everything (pre-eviction behaviour); the
+    #: default keeps memory O(1) over unbounded open-system runs while still
+    #: covering every idempotent-retry window by orders of magnitude.
+    finished_txn_retention: Optional[int] = 512
 
 
 class DataSourceStats:
@@ -82,6 +90,7 @@ class DataSource:
         self.net: NetworkInterface = network.interface(config.name)
         self.stats = DataSourceStats()
         self.transactions: Dict[str, LocalTransaction] = {}
+        self._finished_xids: Deque[str] = deque()
         self.crashed = False
         # Verb dispatch table, built once: ``_handle`` runs per message.
         self._handlers = {
@@ -349,6 +358,7 @@ class DataSource:
         txn.mark_committed(self.env.now)
         self.lock_manager.release_all(xid)
         self.stats.commits += 1
+        self._retire(txn)
         self._reply(message, {"status": "ok"})
 
     def _on_xa_rollback(self, message: Message):
@@ -386,7 +396,27 @@ class DataSource:
         txn.mark_committed_one_phase(self.env.now)
         self.lock_manager.release_all(xid)
         self.stats.commits += 1
+        self._retire(txn)
         self._reply(message, {"status": "ok"})
+
+    def _retire(self, txn: LocalTransaction) -> None:
+        """Queue a finished branch for eviction once the retention cap is hit.
+
+        Keeps :attr:`transactions` O(1) over unbounded runs while leaving the
+        most recent ``finished_txn_retention`` finished branches queryable
+        (idempotent decision re-delivery, ``txn_state``).  Only finished
+        branches are ever evicted, so recovery's PREPARED scan is unaffected.
+        """
+        retention = self.config.finished_txn_retention
+        if retention is None:
+            return
+        finished = self._finished_xids
+        finished.append(txn.xid)
+        while len(finished) > retention:
+            xid = finished.popleft()
+            old = self.transactions.get(xid)
+            if old is not None and old.is_finished:
+                del self.transactions[xid]
 
     def _abort_locally(self, txn: LocalTransaction):
         if txn.is_finished:
@@ -401,6 +431,7 @@ class DataSource:
         txn.mark_aborted(self.env.now)
         self.lock_manager.release_all(txn.xid)
         self.stats.aborts += 1
+        self._retire(txn)
 
     # --------------------------------------------------------------- recovery
     def kill_sessions(self, global_txn_prefix: str) -> int:
@@ -443,6 +474,7 @@ class DataSource:
         self.engine.discard_writes(txn.xid)
         txn.mark_aborted(self.env.now)
         self.lock_manager.release_all(txn.xid)
+        self._retire(txn)
 
     def _on_crash(self, message: Message):
         """Crash the node: in-flight work is lost, non-prepared branches abort."""

@@ -7,12 +7,28 @@ that registry, so contrib/third-party workloads (e.g.
 """
 
 from repro.plugins import get_workload_plugin, normalize_workload, workload_names
+from repro.workloads.arrivals import (
+    ARRIVAL_PROCESSES,
+    ArrivalConfig,
+    ArrivalProcess,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
 from repro.workloads.base import Workload, WorkloadConfig
 from repro.workloads.ycsb import YCSBConfig, YCSBWorkload, CONTENTION_SKEW
 from repro.workloads.tpcc import TPCCConfig, TPCCWorkload
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
+    "ArrivalConfig",
+    "ArrivalProcess",
     "CONTENTION_SKEW",
+    "DiurnalArrivals",
+    "MMPPArrivals",
+    "PoissonArrivals",
+    "make_arrivals",
     "TPCCConfig",
     "TPCCWorkload",
     "Workload",

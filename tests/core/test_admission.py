@@ -1,0 +1,157 @@
+"""Dedicated unit tests for :mod:`repro.core.admission`.
+
+The broader scheduler test module exercises admission as part of the GeoTP
+pipeline; this module pins the `LateTransactionScheduler` contract on its own:
+counter bookkeeping, threshold semantics, backoff behaviour and the Eq. 9
+probability wiring.
+"""
+
+import pytest
+
+from repro.core import HotspotFootprint, LateTransactionScheduler
+from repro.core.admission import AdmissionDecision
+from repro.sim import Environment, SeededRNG
+
+
+def make_hot_footprint(t_cnt, c_cnt, a_cnt, record=("t", "hot")):
+    footprint = HotspotFootprint()
+    entry = footprint.get_or_create(record)
+    entry.t_cnt, entry.c_cnt, entry.a_cnt = t_cnt, c_cnt, a_cnt
+    return footprint
+
+
+def run_admit(admission, env, record_ids):
+    decisions = []
+
+    def proc():
+        decision = yield from admission.admit(env, record_ids)
+        decisions.append(decision)
+
+    env.process(proc())
+    env.run()
+    return decisions[0]
+
+
+# ----------------------------------------------------------------- probability
+def test_success_probability_matches_eq9():
+    # Each record contributes (c_cnt / t_cnt) ^ max(a_cnt - 1, 0).
+    footprint = make_hot_footprint(10, 5, 3)
+    admission = LateTransactionScheduler(footprint, SeededRNG(0))
+    decision = admission.evaluate([("t", "hot")])
+    assert decision.success_probability == pytest.approx(0.5 ** 2)
+
+
+def test_unknown_records_are_always_admitted():
+    admission = LateTransactionScheduler(HotspotFootprint(), SeededRNG(0))
+    for key in range(20):
+        decision = admission.evaluate([("t", key)])
+        assert decision.admitted
+        assert decision.success_probability == 1.0
+
+
+# -------------------------------------------------------------------- counters
+def test_admit_partitions_outcomes_across_counters():
+    # p = 0.5 with one active waiter: some admitted, some rejected, and every
+    # retry increments blocked_count.
+    footprint = make_hot_footprint(10, 5, 2)
+    admission = LateTransactionScheduler(footprint, SeededRNG(42),
+                                         max_retries=2, backoff_ms=1.0)
+    env = Environment()
+    decisions = [run_admit(admission, env, [("t", "hot")]) for _ in range(50)]
+
+    admitted = [d for d in decisions if d.admitted]
+    rejected = [d for d in decisions if not d.admitted]
+    assert admission.admitted_count == len(admitted)
+    assert admission.rejected_count == len(rejected)
+    assert admission.admitted_count + admission.rejected_count == 50
+    assert admission.blocked_count == sum(d.retries_used for d in decisions)
+    # Rejections exhausted the retry budget exactly.
+    assert all(d.retries_used == 2 for d in rejected)
+    assert admitted and rejected  # both outcomes occur at p=0.5
+
+
+def test_evaluate_never_touches_counters():
+    footprint = make_hot_footprint(100, 0, 5)  # hopeless: p == 0
+    admission = LateTransactionScheduler(footprint, SeededRNG(3))
+    for _ in range(10):
+        admission.evaluate([("t", "hot")])
+    assert admission.admitted_count == 0
+    assert admission.blocked_count == 0
+    assert admission.rejected_count == 0
+
+
+# ------------------------------------------------------------------- threshold
+def test_threshold_below_probability_short_circuits_rng():
+    class ExplodingRNG:
+        def random(self):  # pragma: no cover - must not be called
+            raise AssertionError("threshold pass must not draw")
+
+    footprint = make_hot_footprint(10, 9, 2)  # p = 0.81
+    admission = LateTransactionScheduler(footprint, ExplodingRNG(),
+                                         threshold=0.8)
+    decision = admission.evaluate([("t", "hot")])
+    assert decision.admitted
+
+
+def test_threshold_above_probability_falls_back_to_draw():
+    footprint = make_hot_footprint(10, 9, 2)  # p = 0.81
+    admission = LateTransactionScheduler(footprint, SeededRNG(5),
+                                         threshold=0.99)
+    outcomes = {admission.evaluate([("t", "hot")]).admitted
+                for _ in range(200)}
+    assert outcomes == {True, False}
+
+
+# --------------------------------------------------------------------- backoff
+def test_zero_backoff_retries_without_advancing_time():
+    footprint = make_hot_footprint(100, 0, 5)  # p == 0, every attempt blocks
+    admission = LateTransactionScheduler(footprint, SeededRNG(1),
+                                         max_retries=4, backoff_ms=0.0)
+    env = Environment()
+    decision = run_admit(admission, env, [("t", "hot")])
+    assert not decision.admitted
+    assert decision.retries_used == 4
+    assert env.now == 0.0
+
+
+def test_max_retries_zero_rejects_immediately():
+    footprint = make_hot_footprint(100, 0, 5)
+    admission = LateTransactionScheduler(footprint, SeededRNG(1),
+                                         max_retries=0, backoff_ms=10.0)
+    env = Environment()
+    decision = run_admit(admission, env, [("t", "hot")])
+    assert not decision.admitted
+    assert decision.retries_used == 0
+    assert env.now == 0.0
+    assert admission.blocked_count == 0
+    assert admission.rejected_count == 1
+
+
+def test_backoff_accumulates_once_per_block():
+    footprint = make_hot_footprint(100, 0, 5)
+    admission = LateTransactionScheduler(footprint, SeededRNG(1),
+                                         max_retries=3, backoff_ms=7.5)
+    env = Environment()
+    decision = run_admit(admission, env, [("t", "hot")])
+    assert decision.retries_used == 3
+    assert env.now == pytest.approx(3 * 7.5)
+
+
+# ----------------------------------------------------------------- determinism
+def test_same_seed_same_decisions():
+    def trace(seed):
+        footprint = make_hot_footprint(10, 5, 2)
+        admission = LateTransactionScheduler(footprint, SeededRNG(seed),
+                                             max_retries=2, backoff_ms=1.0)
+        env = Environment()
+        return [run_admit(admission, env, [("t", "hot")])
+                for _ in range(25)]
+
+    assert trace(9) == trace(9)
+    assert trace(9) != trace(10)
+
+
+def test_decision_is_plain_dataclass():
+    decision = AdmissionDecision(admitted=True, success_probability=1.0,
+                                 retries_used=0)
+    assert decision == AdmissionDecision(True, 1.0, 0)

@@ -110,3 +110,42 @@ def test_peer_rollback_before_execute_poisons_the_transaction():
     # The poisoned transaction never executed, so the record is untouched.
     assert ds.engine.read("p", "usertable", 3).value == {"v": 0}
     assert agent.stats.peer_rollbacks_handled == 1
+
+
+def test_agent_bookkeeping_is_bounded_by_xid_retention():
+    env, net, ds, agent, dm = build_agent_pair()
+    agent.config.xid_retention = 16
+
+    def driver():
+        for i in range(100):
+            yield dm.request("agent-ds0", protocol.MSG_AGENT_EXECUTE, {
+                "xid": f"g{i}.1", "global_txn_id": f"g{i}",
+                "operations": [update(i % 10)], "auto_start": True,
+                "is_last": False, "peers": [], "coordinator": "dm"})
+            yield dm.request("agent-ds0", protocol.MSG_COMMIT_ONE_PHASE,
+                             {"xid": f"g{i}.1"})
+
+    env.process(driver())
+    env.run()
+    # 100 transactions flowed through; only the newest ids are remembered.
+    assert len(agent._local_xids) <= 16
+    assert len(agent._xid_order) <= 16
+    assert "g99" in agent._local_xids and "g0" not in agent._local_xids
+
+
+def test_peer_rollback_for_forgotten_id_takes_the_poison_path():
+    env, net, ds, agent, dm = build_agent_pair()
+    agent.config.xid_retention = 16
+
+    def driver():
+        # A rollback for an id this agent has never seen (or long forgot).
+        net.interface("peer").send("agent-ds0", protocol.MSG_PEER_ROLLBACK,
+                                   {"global_txn_id": "ancient",
+                                    "coordinator": "dm"})
+        yield env.timeout(50)
+
+    net.set_link("peer", "agent-ds0", ConstantLatency(1))
+    env.process(driver())
+    env.run()
+    assert "ancient" in agent._poisoned
+    assert agent.stats.peer_rollbacks_handled == 1

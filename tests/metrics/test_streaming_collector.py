@@ -1,0 +1,186 @@
+"""Streaming-vs-retained collector equivalence and contract tests.
+
+The :class:`StreamingMetricsCollector` folds everything at record time; this
+module feeds identical synthetic transaction streams into both collectors and
+asserts every aggregate the runner and the derived-metric consumers read is
+equal — then pins the failure modes (unsupported filters, grid mismatches,
+untracked middlewares) so they raise loudly instead of returning empty data.
+"""
+
+import random
+
+import pytest
+
+from repro.common import AbortReason, TransactionResult, TxnOutcome
+from repro.metrics import (
+    DEFAULT_RESERVOIR_SIZE,
+    MetricsCollector,
+    StreamingMetricsCollector,
+)
+
+
+def make_result(txn_id="mw-t1", committed=True, end=100.0, latency=50.0,
+                distributed=False, reason=None, breakdown=None):
+    return TransactionResult(
+        txn_id=txn_id,
+        outcome=TxnOutcome.COMMITTED if committed else TxnOutcome.ABORTED,
+        start_time=end - latency, end_time=end, is_distributed=distributed,
+        abort_reason=reason, phase_breakdown=breakdown or {})
+
+
+def synthetic_stream(count=800, seed=4, middlewares=("geotp-0", "geotp-1")):
+    """A deterministic mixed stream: commits/aborts, types, phases, warmup."""
+    rng = random.Random(seed)
+    reasons = [AbortReason.LOCK_TIMEOUT, AbortReason.ADMISSION_BLOCKED,
+               AbortReason.DEADLOCK]
+    stream = []
+    for i in range(count):
+        committed = rng.random() < 0.7
+        mw = middlewares[i % len(middlewares)]
+        stream.append((make_result(
+            txn_id=f"{mw}-t{i}",
+            committed=committed,
+            end=rng.uniform(0.0, 10_000.0),
+            latency=rng.expovariate(1.0 / 120.0) + 1.0,
+            distributed=rng.random() < 0.4,
+            reason=None if committed else rng.choice(reasons),
+            breakdown={"exec": rng.uniform(1, 5), "commit": rng.uniform(1, 5)}
+            if committed else None,
+        ), rng.choice(["read", "write", "scan"])))
+    return stream
+
+
+def build_pair(stream, warmup_ms=1_000.0, duration_ms=10_000.0,
+               track_middlewares=True):
+    retained = MetricsCollector(warmup_ms=warmup_ms)
+    streaming = StreamingMetricsCollector(
+        warmup_ms=warmup_ms, duration_ms=duration_ms, seed=11,
+        track_middlewares=track_middlewares)
+    for result, txn_type in stream:
+        retained.record(result, txn_type)
+        streaming.record(result, txn_type)
+    return retained, streaming
+
+
+# ----------------------------------------------------------------- equivalence
+def test_counts_and_abort_accounting_match_retained():
+    retained, streaming = build_pair(synthetic_stream())
+    assert streaming.warmup_samples == retained.warmup_samples
+    assert streaming.committed_count() == retained.committed_count()
+    assert streaming.aborted_count() == retained.aborted_count()
+    assert streaming.abort_rate() == pytest.approx(retained.abort_rate())
+    assert streaming.abort_reasons() == retained.abort_reasons()
+    assert streaming.throughput_tps(9_000.0) == retained.throughput_tps(9_000.0)
+    for txn_type in ("read", "write", "scan", "never-seen"):
+        assert streaming.committed_count(txn_type) == \
+            retained.committed_count(txn_type)
+        assert streaming.aborted_count(txn_type) == \
+            retained.aborted_count(txn_type)
+        assert streaming.abort_rate(txn_type) == \
+            pytest.approx(retained.abort_rate(txn_type))
+
+
+def test_latency_aggregates_match_retained_exactly_below_capacity():
+    # 800 txns << 4096: the reservoirs hold every sample, so not just the
+    # exact streaming aggregates but the percentiles must agree.
+    retained, streaming = build_pair(synthetic_stream())
+    for distributed in (None, True, False):
+        exact = retained.latency_distribution(distributed=distributed)
+        estimated = streaming.latency_distribution(distributed=distributed)
+        assert len(estimated) == len(exact)
+        assert estimated.mean == pytest.approx(exact.mean)
+        if len(exact):
+            assert estimated.p50 == exact.p50
+            assert estimated.p99 == exact.p99
+    assert streaming.average_latency_ms() == pytest.approx(
+        retained.average_latency_ms())
+
+
+def test_availability_timeline_matches_retained():
+    retained, streaming = build_pair(synthetic_stream())
+    ours = streaming.availability_report(10_000.0)
+    theirs = retained.availability_report(10_000.0)
+    assert ours.bucket_ms == theirs.bucket_ms
+    assert ours.buckets == theirs.buckets
+
+
+def test_attribution_and_per_middleware_timelines_match_retained():
+    retained, streaming = build_pair(synthetic_stream())
+    assert streaming.attribution() == retained.attribution()
+    ours = streaming.per_middleware_availability(10_000.0)
+    theirs = retained.per_middleware_availability(10_000.0)
+    assert set(ours) == set(theirs)
+    for name in ours:
+        assert ours[name].buckets == theirs[name].buckets
+
+
+def test_phase_breakdown_matches_retained():
+    retained, streaming = build_pair(synthetic_stream())
+    ours, theirs = streaming.phase_breakdown(), retained.phase_breakdown()
+    assert ours.transaction_count == theirs.transaction_count
+    assert ours.average() == pytest.approx(theirs.average())
+
+
+def test_attribution_sums_to_collector_totals():
+    _, streaming = build_pair(synthetic_stream())
+    attribution = streaming.attribution()
+    assert sum(c["committed"] for c in attribution.values()) == \
+        streaming.committed_count()
+    assert sum(c["aborted"] for c in attribution.values()) == \
+        streaming.aborted_count()
+
+
+# -------------------------------------------------------------- failure modes
+def test_unsupported_filters_raise_instead_of_returning_empty():
+    _, streaming = build_pair(synthetic_stream())
+    with pytest.raises(RuntimeError, match="retains no per-transaction"):
+        streaming.latency_distribution(committed_only=False)
+    with pytest.raises(RuntimeError, match="retains no per-transaction"):
+        streaming.latency_distribution(txn_type="read")
+    with pytest.raises(RuntimeError, match="retains no per-transaction"):
+        streaming._filtered()
+
+
+def test_availability_grid_mismatch_raises():
+    _, streaming = build_pair(synthetic_stream())
+    with pytest.raises(ValueError, match="grid"):
+        streaming.availability_report(10_000.0, bucket_ms=500.0)
+    with pytest.raises(ValueError, match="grid"):
+        streaming.availability_report(20_000.0)
+    with pytest.raises(ValueError):
+        streaming.per_middleware_availability(10_000.0, bucket_ms=500.0)
+
+
+def test_no_duration_means_no_timeline():
+    streaming = StreamingMetricsCollector(duration_ms=None)
+    streaming.record(make_result())
+    with pytest.raises(RuntimeError, match="without duration_ms"):
+        streaming.availability_report(10_000.0)
+
+
+def test_untracked_middlewares_raise():
+    _, streaming = build_pair(synthetic_stream(), track_middlewares=False)
+    with pytest.raises(RuntimeError, match="track_middlewares"):
+        streaming.attribution()
+    with pytest.raises(RuntimeError, match="track_middlewares"):
+        streaming.per_middleware_availability(10_000.0)
+
+
+# --------------------------------------------------------------------- memory
+def test_retains_samples_flag_and_flat_sample_list():
+    retained, streaming = build_pair(synthetic_stream())
+    assert MetricsCollector.retains_samples
+    assert not StreamingMetricsCollector.retains_samples
+    assert len(retained.samples) > 0
+    assert streaming.samples == []  # nothing accumulates per transaction
+
+
+def test_reservoirs_stay_bounded_past_capacity():
+    streaming = StreamingMetricsCollector(duration_ms=1_000.0, seed=1)
+    for i in range(DEFAULT_RESERVOIR_SIZE * 3):
+        streaming.record(make_result(txn_id=f"mw-t{i}", end=500.0,
+                                     latency=float(i % 300 + 1)))
+    distribution = streaming.latency_distribution()
+    assert len(distribution) == DEFAULT_RESERVOIR_SIZE * 3
+    assert distribution.reservoir_len == DEFAULT_RESERVOIR_SIZE
+    assert streaming.samples == []

@@ -324,3 +324,57 @@ def test_dialect_by_name_lookup():
     assert dialect_by_name("PostgreSQL").name == "postgresql"
     with pytest.raises(ValueError):
         dialect_by_name("oracle")
+
+
+def test_finished_transactions_are_evicted_beyond_retention():
+    env, net, ds, client = make_datasource()
+    ds.config.finished_txn_retention = 8
+    ds.load_table("usertable", {"carol": 1})
+
+    def coordinator():
+        for i in range(30):
+            xid = f"r{i}"
+            yield client.request("ds1", protocol.MSG_XA_START, {"xid": xid})
+            yield client.request("ds1", protocol.MSG_EXECUTE,
+                                 {"xid": xid,
+                                  "operations": [write_op("carol", i)]})
+            yield client.request("ds1", protocol.MSG_COMMIT_ONE_PHASE,
+                                 {"xid": xid})
+
+    env.process(coordinator())
+    env.run()
+    # Only the newest `retention` finished transactions remain resident.
+    assert len(ds.transactions) == 8
+    assert "r29" in ds.transactions and "r0" not in ds.transactions
+    # The data outcome of evicted transactions is durable regardless.
+    assert ds.engine.read("probe", "usertable", "carol").value == 29
+
+
+def test_in_doubt_transactions_survive_retention_pressure():
+    env, net, ds, client = make_datasource()
+    ds.config.finished_txn_retention = 4
+
+    def coordinator():
+        # One branch parks in PREPARED (in doubt) ...
+        yield client.request("ds1", protocol.MSG_XA_START, {"xid": "doubt"})
+        yield client.request("ds1", protocol.MSG_EXECUTE,
+                             {"xid": "doubt",
+                              "operations": [write_op("k", 1)]})
+        yield client.request("ds1", protocol.MSG_XA_END, {"xid": "doubt"})
+        yield client.request("ds1", protocol.MSG_XA_PREPARE, {"xid": "doubt"})
+        # ... while far more than `retention` transactions finish around it.
+        for i in range(20):
+            xid = f"f{i}"
+            yield client.request("ds1", protocol.MSG_XA_START, {"xid": xid})
+            yield client.request("ds1", protocol.MSG_EXECUTE,
+                                 {"xid": xid,
+                                  "operations": [write_op("other", i)]})
+            yield client.request("ds1", protocol.MSG_COMMIT_ONE_PHASE,
+                                 {"xid": xid})
+
+    env.process(coordinator())
+    env.run()
+    # Eviction only ever touches finished branches: the in-doubt one is
+    # still resident for recovery, whatever the churn around it.
+    assert ds.transactions["doubt"].state is TxnState.PREPARED
+    assert len(ds.transactions) <= 4 + 1

@@ -98,3 +98,49 @@ def test_wal_truncate():
     wal.append(LogRecordType.COMMIT, "x", 1.0)
     wal.truncate()
     assert len(wal) == 0
+
+
+# ---------------------------------------------------------------- checkpointing
+def test_wal_checkpoint_drops_old_decided_records():
+    wal = WriteAheadLog(checkpoint_records=4)
+    for i in range(6):
+        wal.append(LogRecordType.PREPARE, f"t{i}", float(i))
+        wal.append(LogRecordType.COMMIT, f"t{i}", float(i) + 0.5)
+    # Auto-checkpointing kept the log under twice the horizon throughout.
+    assert len(wal) < 2 * 4
+    assert wal.checkpoints > 0
+    # The newest records survive verbatim, in order.
+    xids = [r.xid for r in wal.records()]
+    assert xids == sorted(xids, key=xids.index)  # order preserved
+    assert wal.last_decision("t5") is LogRecordType.COMMIT
+
+
+def test_wal_checkpoint_keeps_in_doubt_branches_forever():
+    wal = WriteAheadLog(checkpoint_records=4)
+    wal.append(LogRecordType.PREPARE, "in-doubt", 0.0)  # never decided
+    for i in range(50):
+        wal.append(LogRecordType.PREPARE, f"t{i}", float(i + 1))
+        wal.append(LogRecordType.COMMIT, f"t{i}", float(i + 1) + 0.5)
+    assert len(wal) < 2 * 4 + 1
+    # Recovery's two queries still see the undecided branch.
+    assert "in-doubt" in wal.prepared_xids()
+    assert wal.last_decision("in-doubt") is None
+    assert wal.records_for("in-doubt")
+
+
+def test_wal_checkpoint_is_explicit_and_counts_drops():
+    wal = WriteAheadLog(checkpoint_records=None)  # retain everything
+    for i in range(100):
+        wal.append(LogRecordType.PREPARE, f"t{i}", float(i))
+        wal.append(LogRecordType.ABORT, f"t{i}", float(i) + 0.5)
+    assert len(wal) == 200
+    assert wal.checkpoint() == 0  # None horizon: no-op
+    wal.checkpoint_records = 10
+    dropped = wal.checkpoint()
+    assert dropped == 190
+    assert len(wal) == 10
+
+
+def test_wal_checkpoint_rejects_non_positive_horizon():
+    with pytest.raises(ValueError):
+        WriteAheadLog(checkpoint_records=0)
