@@ -54,7 +54,8 @@ class ScalarDBPlusCoordinator(ScalarDBCoordinator):
         self.admission = LateTransactionScheduler(
             self.footprint, self.rng,
             max_retries=self.geotp.admission_max_retries,
-            backoff_ms=self.geotp.admission_backoff_ms)
+            backoff_ms=self.geotp.admission_backoff_ms,
+            threshold=self.geotp.admission_threshold)
         for name, handle in self.participants.items():
             self.latency_monitor.prime(name, self.network.rtt(self.name, handle.endpoint))
 

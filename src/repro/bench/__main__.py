@@ -15,6 +15,8 @@ compares against the committed ``BENCH_baseline.json``.  Examples::
         --duration-ms 5000 --terminals 16 --workers 4 --output fig5.json
     PYTHONPATH=src python -m repro.bench run load_sweep --workers 2 \\
         --rate-tps 400 --output knee.json
+    PYTHONPATH=src python -m repro.bench chaos --sample 10 --workers 2 \\
+        --output chaos_report.json
     PYTHONPATH=src python -m repro.bench perf --quick --output BENCH_ci.json
     PYTHONPATH=src python -m repro.bench perf --quick --profile --output BENCH_ci.json
     PYTHONPATH=src python -m repro.bench perf --compare BENCH_a.json BENCH_b.json
@@ -122,6 +124,28 @@ def _build_parser() -> argparse.ArgumentParser:
                       default=perf_mod.DEFAULT_PROFILE_TOP_N,
                       help="number of functions per profile table "
                            f"(default: {perf_mod.DEFAULT_PROFILE_TOP_N})")
+
+    chaos = commands.add_parser(
+        "chaos", help="run a seeded sample of generated chaos_* scenarios at "
+                      "smoke scale and fail on any robustness-invariant "
+                      "violation")
+    chaos.add_argument("--sample", type=int, default=10,
+                       help="number of chaos scenarios to sample (default 10)")
+    chaos.add_argument("--sample-seed", type=int, default=0,
+                       help="seed of the scenario sample (same seed = same "
+                            "scenarios, across machines and sessions)")
+    chaos.add_argument("--workers", type=int, default=None,
+                       help="process-pool size (default: REPRO_BENCH_WORKERS "
+                            "or serial)")
+    chaos.add_argument("--duration-ms", type=float, default=3_000.0,
+                       help="simulated duration per point (default 3000)")
+    chaos.add_argument("--warmup-ms", type=float, default=600.0,
+                       help="warm-up window per point (default 600)")
+    chaos.add_argument("--terminals", type=int, default=4,
+                       help="closed-loop terminal count per point (default 4)")
+    chaos.add_argument("--output", default=None,
+                       help="write the invariant report JSON here instead of "
+                            "stdout")
 
     commands.add_parser(
         "engine", help="report the simulation engine selection of this "
@@ -234,6 +258,80 @@ def _run_scenario(args: argparse.Namespace) -> int:
         print(f"wrote {len(result)} points to {args.output}", file=sys.stderr)
     else:
         print(document)
+    return 0
+
+
+def _run_chaos(args: argparse.Namespace) -> int:
+    """Seeded chaos smoke: sample, run, judge by the robustness invariants.
+
+    Exit 0 when every applicable invariant on every point passed; exit 1 with
+    a per-violation listing otherwise.  The JSON document (``--output``) is
+    the CI artifact: one entry per point with its params, headline numbers
+    and full invariant report.
+    """
+    from repro.recovery.chaos import sample_chaos_scenarios
+    from repro.recovery.invariants import violations as invariant_violations
+
+    names = sample_chaos_scenarios(args.sample, seed=args.sample_seed)
+    if not names:
+        print("error: no chaos scenarios registered", file=sys.stderr)
+        return 2
+    runner = SweepRunner(max_workers=args.workers)
+    scenarios = []
+    all_violations: List[dict] = []
+    points_run = 0
+    for name in names:
+        sweep = get_scenario(name).sweep(
+            duration_ms=args.duration_ms, warmup_ms=args.warmup_ms,
+            terminals=args.terminals,
+            # Shrink the modelled tables with the run so smoke points stay
+            # cheap; chaos bases all carry a YCSB config even when another
+            # workload axis value is active (harmless there).
+            ycsb__records_per_node=1_000, ycsb__preload_rows_per_node=200)
+        result = runner.run(sweep)
+        points_run += len(result)
+        rows = []
+        for point in result:
+            summary = point.summary
+            failed = invariant_violations(summary.invariants)
+            rows.append({
+                "params": point.params,
+                "committed": summary.committed,
+                "aborted": summary.aborted,
+                "throughput_tps": round(summary.throughput_tps, 2),
+                "invariants": summary.invariants,
+            })
+            for message in failed:
+                all_violations.append({"scenario": name,
+                                       "params": point.params,
+                                       "violation": message})
+        scenarios.append({"scenario": name, "points": rows})
+    document = {
+        "sample": args.sample,
+        "sample_seed": args.sample_seed,
+        "engine": active_engine(),
+        "scenarios_run": names,
+        "points_run": points_run,
+        "violations": all_violations,
+        "results": scenarios,
+    }
+    text = json.dumps(document, indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {points_run} points ({len(names)} scenarios) to "
+              f"{args.output}", file=sys.stderr)
+    else:
+        print(text)
+    if all_violations:
+        for entry in all_violations:
+            print(f"INVARIANT VIOLATION [{entry['scenario']} "
+                  f"{entry['params']}]: {entry['violation']}", file=sys.stderr)
+        print(f"{len(all_violations)} invariant violation(s) across "
+              f"{points_run} chaos points", file=sys.stderr)
+        return 1
+    print(f"all robustness invariants held across {points_run} chaos points",
+          file=sys.stderr)
     return 0
 
 
@@ -358,6 +456,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "engine":
         print(json.dumps(engine_info(), indent=2, sort_keys=True))
         return 0
+    if args.command == "chaos":
+        return _run_chaos(args)
     return _run_scenario(args)
 
 

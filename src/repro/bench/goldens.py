@@ -116,11 +116,29 @@ def load_sweep_config() -> ExperimentConfig:
     return sweep.points()[0].config
 
 
+def chaos_config() -> ExperimentConfig:
+    """The chaos determinism pin: one generated composed-fault point.
+
+    Derived from a generated ``chaos_*`` scenario at smoke scale — a dual
+    (outage-inside-partition) plan under drifting DynamicLatency schedules
+    and Poisson arrivals, so plan execution, parked-delivery re-interception,
+    recovery and the invariant evaluation all must replay bit for bit.
+    """
+    from repro.bench.scenarios import get_scenario
+
+    sweep = get_scenario("chaos_dual_drift_poisson_ycsb").sweep(
+        axes={"system": ["geotp"]},
+        duration_ms=4_000.0, warmup_ms=800.0, terminals=4,
+        ycsb__records_per_node=1_000, ycsb__preload_rows_per_node=200)
+    return sweep.points()[0].config
+
+
 #: Named same-seed determinism runs (``determinism [name]``).
 DETERMINISM_CONFIGS = {
     "default": determinism_config,
     "fleet_failover": fleet_failover_config,
     "load_sweep": load_sweep_config,
+    "chaos": chaos_config,
 }
 
 

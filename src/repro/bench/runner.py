@@ -29,6 +29,7 @@ from repro.metrics.timeline import ThroughputTimeline
 from repro.middleware.middleware import MiddlewareConfig
 from repro.plugins import get_workload_plugin
 from repro.recovery.failures import FaultInjector, FaultPlan
+from repro.recovery.invariants import check_invariants
 from repro.workloads.arrivals import ArrivalConfig
 from repro.workloads.base import Workload, WorkloadConfig
 from repro.workloads.tpcc import TPCCConfig
@@ -168,6 +169,16 @@ class ExperimentSummary:
     #: sweep worker see monotonically increasing values, so treat it as an
     #: upper bound there (fresh subprocesses give isolated readings).
     peak_rss_bytes: int = 0
+    #: Committed/aborted samples that landed inside the warmup window and
+    #: were therefore excluded from the measured counters above.  Needed by
+    #: the open-system accounting invariant (pool books count *all*
+    #: completed sessions, measured counters only post-warmup ones).
+    warmup_samples: int = 0
+    #: Robustness-invariant report produced by
+    #: :func:`repro.recovery.invariants.check_invariants` — ``{name:
+    #: {"status": "passed"|"failed"|"skipped", "detail": str}}``.  Computed
+    #: once per run in :meth:`ExperimentResult.summary`.
+    invariants: Optional[Dict[str, Dict[str, str]]] = None
 
     # ------------------------------------------------------------ conveniences
     @property
@@ -237,6 +248,9 @@ class ExperimentSummary:
             out["open_loop"] = self.open_loop
         if self.admission is not None:
             out["admission"] = self.admission
+        out["warmup_samples"] = self.warmup_samples
+        if self.invariants is not None:
+            out["invariants"] = self.invariants
         if include_environment:
             out["peak_rss_bytes"] = self.peak_rss_bytes
         if include_samples:
@@ -279,6 +293,7 @@ class ExperimentResult:
     open_loop: Optional[Dict[str, Any]] = None
     admission: Optional[Dict[str, int]] = None
     peak_rss_bytes: int = 0
+    warmup_samples: int = 0
 
     # ------------------------------------------------------------ conveniences
     def throughput_for(self, txn_type: str) -> float:
@@ -302,8 +317,13 @@ class ExperimentResult:
                 round(self.abort_rate * 100, 1))
 
     def summary(self) -> ExperimentSummary:
-        """The picklable summary of this result (drops collector/cluster)."""
-        return ExperimentSummary(
+        """The picklable summary of this result (drops collector/cluster).
+
+        Robustness invariants are evaluated here — once, on the complete
+        summary — so every sweep point carries its own safety report without
+        callers having to opt in.
+        """
+        summary = ExperimentSummary(
             system=self.system,
             workload=self.workload,
             terminals=self.terminals,
@@ -332,7 +352,10 @@ class ExperimentResult:
             open_loop=self.open_loop,
             admission=self.admission,
             peak_rss_bytes=self.peak_rss_bytes,
+            warmup_samples=self.warmup_samples,
         )
+        summary.invariants = check_invariants(summary)
+        return summary
 
 
 def make_workload(config: ExperimentConfig, node_names) -> Workload:
@@ -521,4 +544,5 @@ def run_experiment(config: ExperimentConfig,
         open_loop=open_pool.report() if open_pool is not None else None,
         admission=admission_report,
         peak_rss_bytes=process_peak_rss_bytes(),
+        warmup_samples=collector.warmup_samples,
     )

@@ -1,0 +1,266 @@
+"""Session-based e-commerce checkout workload (contrib plugin).
+
+Grown from ``examples/ecommerce_checkout.py``: the paper's motivating global
+store, but as a first-class workload instead of a TPC-C remix.  Each terminal
+walks a shopper *session* — a few catalog browses, some cart adds, then a
+checkout that reserves stock and a payment that settles it — so the
+transaction stream has the bursty read-then-write phase structure real
+storefronts show, not an i.i.d. mix.
+
+The chaos-matrix knob this plugin contributes is the **flash crowd**:
+``hotspot_shift_every`` moves the hot-product window to a fresh region of the
+catalog every N generated transactions (transaction-count based, so it is
+deterministic under any scheduler).  A shifted hot set invalidates whatever
+locality the middleware has learned — the e-commerce equivalent of a product
+going viral mid-run.
+
+Like every contrib module this is a *plugin*: registering the workload and
+its scenarios requires zero edits to the cluster or bench layers, and the
+chaos matrix picks the workload up purely by its registry name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common import Operation, OpType
+from repro.middleware.router import ModuloPartitioner
+from repro.middleware.statements import TransactionSpec
+from repro.plugins import WorkloadPlugin, register_scenario_hook, register_workload
+from repro.workloads.base import Workload, WorkloadConfig
+
+PRODUCTS = "products"
+CARTS = "carts"
+ORDERS = "orders"
+CUSTOMERS = "customers"
+
+#: Session stages, in order; ``next_transaction`` advances one stage per call.
+BROWSE, ADD_TO_CART, CHECKOUT, PAYMENT = "browse", "add_to_cart", "checkout", "payment"
+
+
+@dataclass
+class EcommerceConfig(WorkloadConfig):
+    """Knobs of the e-commerce session generator (sizes scaled for simulation)."""
+
+    #: Catalog rows per data node.
+    products_per_node: int = 10_000
+    #: Products materialised per node at load time (cold rows are created
+    #: lazily on first write, like the YCSB loader's memory bound).
+    preload_products_per_node: int = 1_000
+    #: Customers (and their carts) per data node, all preloaded.
+    customers_per_node: int = 500
+    #: Probability that a product draw comes from the current hot window.
+    hotspot_probability: float = 0.7
+    #: Size of the hot-product window.
+    hotspot_products: int = 50
+    #: Flash-crowd knob: move the hot window to a fresh catalog region every
+    #: N generated transactions; 0 keeps it static for the whole run.
+    hotspot_shift_every: int = 0
+    #: Browse transactions per session, drawn uniformly from [1, max].
+    max_browses: int = 3
+    #: Cart-add transactions per session, drawn uniformly from [1, max].
+    max_cart_adds: int = 2
+    #: Line items reserved by a checkout.
+    items_per_checkout: int = 2
+
+
+class EcommerceWorkload(Workload):
+    """Generator of shopper-session transaction specs."""
+
+    name = "ecommerce"
+
+    def __init__(self, datasource_names, config: EcommerceConfig):
+        super().__init__(datasource_names, config)
+        self.config: EcommerceConfig = config
+        if config.products_per_node < 2:
+            raise ValueError("products_per_node must be >= 2")
+        if config.customers_per_node < 1:
+            raise ValueError("customers_per_node must be >= 1")
+        if not 0 <= config.distributed_ratio <= 1:
+            raise ValueError("distributed_ratio must be in [0, 1]")
+        if config.hotspot_shift_every < 0:
+            raise ValueError("hotspot_shift_every must be >= 0")
+        self._partitioner = ModuloPartitioner(self.datasource_names)
+        #: Per-terminal session state: remaining stage list + home node +
+        #: customer.  Sessions are independent, so state is keyed by terminal.
+        self._sessions: Dict[int, Dict] = {}
+        #: Transactions generated so far — drives the flash-crowd shift.
+        self._generated = 0
+        self._builders = {
+            BROWSE: self._browse,
+            ADD_TO_CART: self._add_to_cart,
+            CHECKOUT: self._checkout,
+            PAYMENT: self._payment,
+        }
+
+    # --------------------------------------------------------------- interface
+    def make_partitioner(self) -> ModuloPartitioner:
+        return self._partitioner
+
+    def initial_data(self) -> Dict[str, Dict[str, Dict]]:
+        config = self.config
+        preload = min(config.products_per_node, config.preload_products_per_node)
+        data: Dict[str, Dict[str, Dict]] = {}
+        for node_index, name in enumerate(self.datasource_names):
+            products, customers, carts = {}, {}, {}
+            for sequence in range(preload):
+                key = self._partitioner.key_for_node(node_index, sequence)
+                products[key] = {"stock": 1_000, "price": 10.0}
+            for sequence in range(config.customers_per_node):
+                key = self._partitioner.key_for_node(node_index, sequence)
+                customers[key] = {"balance": 10_000.0}
+                carts[key] = {"items": 0}
+            data[name] = {PRODUCTS: products, CUSTOMERS: customers,
+                          CARTS: carts}
+        return data
+
+    def next_transaction(self, terminal_id: int = 0) -> TransactionSpec:
+        session = self._sessions.get(terminal_id)
+        if not session or not session["stages"]:
+            session = self._new_session()
+            self._sessions[terminal_id] = session
+        stage = session["stages"].pop(0)
+        self._generated += 1
+        operations, is_distributed = self._builders[stage](session)
+        return TransactionSpec.from_operations(
+            operations, txn_type=stage, rounds=self.config.rounds,
+            metadata={"distributed": is_distributed,
+                      "home_node": session["home"]})
+
+    # ----------------------------------------------------------------- session
+    def _new_session(self) -> Dict:
+        config = self.config
+        node_count = len(self.datasource_names)
+        home = self.rng.randint(0, node_count - 1)
+        stages = ([BROWSE] * self.rng.randint(1, max(1, config.max_browses))
+                  + [ADD_TO_CART] * self.rng.randint(1, max(1, config.max_cart_adds))
+                  + [CHECKOUT, PAYMENT])
+        customer = self._partitioner.key_for_node(
+            home, self.rng.randint(0, config.customers_per_node - 1))
+        # The checkout's distribution draw is fixed at session start so the
+        # cart adds and the checkout tell one coherent story.
+        distributed = (node_count > 1
+                       and self.rng.bernoulli(config.distributed_ratio))
+        remote = home
+        if distributed:
+            others = [i for i in range(node_count) if i != home]
+            remote = self.rng.choice(others)
+        return {"stages": stages, "home": home, "remote": remote,
+                "distributed": distributed, "customer": customer,
+                "cart_products": []}
+
+    # ------------------------------------------------------------ txn builders
+    def _browse(self, session: Dict):
+        ops = [self._read(PRODUCTS, self._draw_product(session["home"]))
+               for _ in range(2)]
+        return ops, False
+
+    def _add_to_cart(self, session: Dict):
+        node = (session["remote"]
+                if session["distributed"] and self.rng.bernoulli(0.5)
+                else session["home"])
+        product = self._draw_product(node)
+        session["cart_products"].append(product)
+        ops = [self._read(PRODUCTS, product),
+               self._update(CARTS, session["customer"], {"items": "added"})]
+        return ops, False
+
+    def _checkout(self, session: Dict):
+        config = self.config
+        products = list(session["cart_products"])
+        while len(products) < config.items_per_checkout:
+            node = (session["remote"] if session["distributed"]
+                    else session["home"])
+            products.append(self._draw_product(node))
+        ops = [self._read(CARTS, session["customer"])]
+        for product in products[:config.items_per_checkout]:
+            ops += [self._read(PRODUCTS, product),
+                    self._update(PRODUCTS, product, {"stock": "reserved"})]
+        ops.append(self._write(ORDERS, session["customer"],
+                               {"status": "placed"}))
+        # Distributed iff any reserved product lives off the home node
+        # (keys stripe by modulo, matching ModuloPartitioner.locate).
+        home = session["home"]
+        node_count = len(self.datasource_names)
+        distributed = any(p % node_count != home
+                          for p in products[:config.items_per_checkout])
+        return ops, distributed
+
+    def _payment(self, session: Dict):
+        customer = session["customer"]
+        ops = [self._read(CUSTOMERS, customer),
+               self._update(CUSTOMERS, customer, {"balance": "charged"}),
+               self._update(ORDERS, customer, {"status": "paid"})]
+        session["cart_products"] = []
+        return ops, False
+
+    # ----------------------------------------------------------------- helpers
+    def _hot_window_base(self) -> int:
+        """First catalog sequence of the current hot window.
+
+        Advances every ``hotspot_shift_every`` generated transactions; the
+        large odd stride scatters successive windows across the catalog so a
+        shift is a genuine locality break, not a neighbouring slide.
+        """
+        config = self.config
+        if config.hotspot_shift_every <= 0:
+            return 0
+        shift = self._generated // config.hotspot_shift_every
+        span = max(config.products_per_node - config.hotspot_products, 1)
+        return (shift * 7_919) % span
+
+    def _draw_product(self, node_index: int) -> int:
+        config = self.config
+        if self.rng.bernoulli(config.hotspot_probability):
+            window = min(config.hotspot_products, config.products_per_node)
+            sequence = self._hot_window_base() + self.rng.randint(0, window - 1)
+            sequence %= config.products_per_node
+        else:
+            sequence = self.rng.randint(0, config.products_per_node - 1)
+        return self._partitioner.key_for_node(node_index, sequence)
+
+    @staticmethod
+    def _read(table: str, key: int) -> Operation:
+        return Operation(op_type=OpType.READ, table=table, key=key)
+
+    @staticmethod
+    def _update(table: str, key: int, value: Dict) -> Operation:
+        return Operation(op_type=OpType.UPDATE, table=table, key=key,
+                         value=value)
+
+    @staticmethod
+    def _write(table: str, key: int, value: Dict) -> Operation:
+        return Operation(op_type=OpType.WRITE, table=table, key=key,
+                         value=value)
+
+
+# ------------------------------------------------------------------- plugin
+register_workload(WorkloadPlugin(
+    name="ecommerce",
+    description="Session-based e-commerce checkout (browse/cart/checkout/"
+                "payment) with a flash-crowd hotspot-shift knob",
+    aliases=("ecom", "checkout"),
+    factory=EcommerceWorkload,
+    config_factory=EcommerceConfig,
+))
+
+
+def _register_scenarios() -> None:
+    # Deferred: the bench layer imports the cluster layer, which loads the
+    # plugins — importing scenarios at module level would be a cycle.
+    from repro.bench.scenarios import Axis, ScenarioSpec, _base, register
+
+    register(ScenarioSpec(
+        name="ecommerce_flash_crowd",
+        description="E-commerce sessions under a moving hot-product window: "
+                    "shift period 0 (static) vs flash crowds every 2000/500 "
+                    "transactions (contrib workload)",
+        base=_base(workload="ecommerce", workload_config=EcommerceConfig()),
+        axes=(Axis("system", ("ssp", "geotp")),
+              Axis("shift_every", (0, 2_000, 500),
+                   path="workload_config.hotspot_shift_every")),
+    ))
+
+
+register_scenario_hook(_register_scenarios)

@@ -34,6 +34,7 @@ from repro.recovery.recovery_manager import RecoveryManager
 from repro.sim.environment import Environment
 from repro.sim.network import DROP, Network, NetworkInterface, PARK
 from repro.storage.datasource import DataSource
+from repro.storage.transaction import TxnState
 
 if TYPE_CHECKING:  # pragma: no cover - cluster imports recovery consumers
     from repro.cluster.deployment import Cluster
@@ -183,9 +184,24 @@ class FaultPlan:
         overlapping disruption of the same thing would be clobbered by the
         first one's heal (releasing parked traffic mid-outage).  A
         ``target=None`` latency spike degrades every node, so it conflicts
-        with every other spike.
+        with every other spike, and a partition disrupts both directions of
+        the link, so ``A<->B`` conflicts with ``B<->A``.
+
+        Cross-target concurrency is deliberately *allowed*: composed chaos
+        plans overlap faults on different nodes/links (e.g. a region outage
+        inside a longer partition window).  That is safe because the network
+        re-intercepts parked deliveries on release — a message freed by one
+        heal is re-checked against every still-active disruption and parked
+        (or dropped) again if another fault covers it; see
+        ``Network._release_parked`` and the chaos-plan re-interception test.
         """
         def key(event: FaultEvent):
+            if event.kind is FaultKind.PARTITION:
+                # Both directions of the link are disrupted and restored
+                # together, so the pair is unordered for conflict purposes.
+                return (event.kind,) + tuple(sorted(
+                    name for name in (event.target, event.peer)
+                    if name is not None))
             return (event.kind, event.target, event.peer)
 
         def window(event: FaultEvent):
@@ -437,6 +453,7 @@ class FaultInjector:
         availability = collector.availability_report(duration_ms,
                                                      bucket_ms=bucket_ms)
         time_to_recover: Dict[str, Any] = {}
+        baselines: Dict[str, float] = {}
         for event in self.plan.events:
             if event.duration_ms <= 0:
                 continue
@@ -444,9 +461,10 @@ class FaultInjector:
             # Baseline from the window before the fault *struck*: averaging
             # up to the heal would dilute it with the outage's near-zero
             # buckets and under-report the recovery time.
+            baseline = availability.throughput_before(event.at_ms)
+            baselines[event.describe()] = baseline
             time_to_recover[event.describe()] = availability.time_to_recover_ms(
-                heal_at,
-                baseline_tps=availability.throughput_before(event.at_ms))
+                heal_at, baseline_tps=baseline)
         return {
             "plan": [event.to_dict() for event in self.plan.events],
             "log": list(self.log),
@@ -454,7 +472,47 @@ class FaultInjector:
             "injected": dict(self.failures.injected),
             "availability": availability.to_dict(),
             "time_to_recover_ms": time_to_recover,
+            # Per-event pre-fault baseline (tps).  0.0 means the fault struck
+            # before a full bucket existed — recovery is then unobservable,
+            # which the availability invariant must treat as a skip, not a
+            # violation (time_to_recover_ms is None in both cases).
+            "recovery_baseline_tps": baselines,
+            "wal_in_doubt": self._wal_in_doubt(),
         }
+
+    def _wal_in_doubt(self) -> Dict[str, Any]:
+        """End-of-run census of prepared branches nobody will ever resolve.
+
+        A branch still ``PREPARED`` when the run stops is fine while its
+        global transaction is live on some coordinator (decision pending) or
+        its owner has logged a decision (the commit/rollback delivery is in
+        flight).  A prepared branch with *neither* is an orphan: §V-A
+        recovery should have resolved it, and the ``wal_in_doubt_empty``
+        invariant fails the run if any survive.
+        """
+        live_gids = set()
+        for middleware in self.cluster.middlewares:
+            live_gids.update(middleware.active_contexts)
+        orphans: List[Dict[str, Any]] = []
+        prepared_at_end = 0
+        for ds_name, datasource in self.cluster.datasources.items():
+            for xid, txn in datasource.transactions.items():
+                if txn.state is not TxnState.PREPARED:
+                    continue
+                prepared_at_end += 1
+                gid = txn.global_txn_id
+                if gid in live_gids:
+                    continue
+                owner = next(
+                    (mw for mw in self.cluster.middlewares
+                     if gid.startswith(f"{mw.name}-")), None)
+                if owner is not None and owner.wal.last_decision(gid) is not None:
+                    continue
+                orphans.append({
+                    "datasource": ds_name, "xid": xid, "gid": gid,
+                    "owner": owner.name if owner is not None else None,
+                })
+        return {"prepared_at_end": prepared_at_end, "orphans": orphans}
 
 
 def post_recovery_band(fault_free_committed: int, measured_ms: float,

@@ -1,0 +1,222 @@
+"""Edge-case coverage for the robustness-invariant checker.
+
+One deliberately-broken summary fixture per invariant: each must fire with an
+*actionable* message (the observed numbers, not just a boolean), and a healthy
+summary must pass everything applicable while skipping the rest.
+"""
+
+import copy
+from types import SimpleNamespace
+
+from repro.recovery.invariants import (
+    INVARIANTS,
+    all_passed,
+    check_invariants,
+    invariant,
+    violations,
+)
+
+
+def healthy_summary(**overrides):
+    """A minimal summary that satisfies every applicable invariant.
+
+    Duck-typed like the real ``ExperimentSummary`` — the checker only reads
+    attributes, so a namespace keeps each fixture's breakage explicit.
+    """
+    faults = {
+        "plan": [{"kind": "datasource_crash", "target": "ds1",
+                  "at_ms": 2_000.0, "duration_ms": 1_000.0}],
+        "recoveries": [{"kind": "datasource_crash", "target": "ds1",
+                        "recovery_ms": 12.5}],
+        "availability": {
+            "bucket_ms": 1_000.0,
+            "series": [[0.0, 50, 2], [1_000.0, 48, 1], [2_000.0, 5, 9],
+                       [3_000.0, 40, 3], [4_000.0, 49, 2], [5_000.0, 50, 1]],
+        },
+        "time_to_recover_ms": {"datasource_crash(ds1) @2000ms for 1000ms": 500.0},
+        "recovery_baseline_tps": {"datasource_crash(ds1) @2000ms for 1000ms": 49.0},
+        "wal_in_doubt": {"prepared_at_end": 0, "orphans": []},
+    }
+    base = dict(
+        committed=200, aborted=20, warmup_samples=30,
+        measured_duration_ms=4_000.0, throughput_tps=200 / 4.0,
+        abort_reasons={"lock_timeout": 15, "peer_abort": 5},
+        open_loop={"offered": 260, "started": 255, "dropped": 5,
+                   "completed": 250, "in_flight_at_end": 5},
+        fleet={"attribution": {"dm1": {"committed": 120, "aborted": 12},
+                               "dm2": {"committed": 80, "aborted": 8}}},
+        faults=faults,
+    )
+    base.update(overrides)
+    return SimpleNamespace(**base)
+
+
+def failed(report, name):
+    assert report[name]["status"] == "failed", report[name]
+    return report[name]["detail"]
+
+
+# ------------------------------------------------------------------ pass path
+def test_healthy_summary_passes_every_applicable_invariant():
+    report = check_invariants(healthy_summary())
+    assert violations(report) == []
+    assert all_passed(report)
+    assert all(entry["status"] == "passed" for entry in report.values()), report
+
+
+def test_closed_loop_fault_free_summary_skips_the_specific_invariants():
+    summary = healthy_summary(open_loop=None, fleet=None, faults=None)
+    report = check_invariants(summary)
+    assert all_passed(report)
+    for name in ("books_balance", "no_lost_transactions", "attribution_sums",
+                 "availability_recovers", "wal_in_doubt_empty",
+                 "recovery_completed"):
+        assert report[name]["status"] == "skipped"
+    assert report["abort_reasons_bounded"]["status"] == "passed"
+    assert report["throughput_accounting"]["status"] == "passed"
+
+
+# ------------------------------------------------------- one breakage per rule
+def test_lost_arrival_breaks_the_books():
+    summary = healthy_summary()
+    summary.open_loop = dict(summary.open_loop, offered=261)
+    detail = failed(check_invariants(summary), "books_balance")
+    assert "offered=261" in detail and "255+5" in detail
+
+
+def test_vanished_session_breaks_the_books():
+    summary = healthy_summary()
+    summary.open_loop = dict(summary.open_loop, completed=249)
+    detail = failed(check_invariants(summary), "books_balance")
+    assert "started=255" in detail and "in_flight_at_end" in detail
+
+
+def test_lost_transaction_is_detected_and_counted():
+    summary = healthy_summary(committed=198)  # 2 sessions never recorded
+    summary.throughput_tps = 198 / 4.0  # keep the rate consistent
+    detail = failed(check_invariants(summary), "no_lost_transactions")
+    assert "2 transaction(s) lost" in detail
+    assert "250" in detail and "248" in detail
+
+
+def test_duplicated_transaction_is_detected():
+    summary = healthy_summary(committed=203)
+    summary.throughput_tps = 203 / 4.0
+    detail = failed(check_invariants(summary), "no_lost_transactions")
+    assert "duplicated" in detail
+
+
+def test_double_credited_commit_breaks_attribution():
+    summary = healthy_summary()
+    summary.fleet = {"attribution": {
+        "dm1": {"committed": 121, "aborted": 12},
+        "dm2": {"committed": 80, "aborted": 8}}}
+    detail = failed(check_invariants(summary), "attribution_sums")
+    assert "201" in detail and "200" in detail and "multiple" in detail
+
+
+def test_abort_attribution_mismatch_is_detected():
+    summary = healthy_summary()
+    summary.fleet = {"attribution": {
+        "dm1": {"committed": 120, "aborted": 11},
+        "dm2": {"committed": 80, "aborted": 8}}}
+    detail = failed(check_invariants(summary), "attribution_sums")
+    assert "19" in detail and "20" in detail
+
+
+def test_overcounted_abort_reasons_are_detected():
+    summary = healthy_summary(abort_reasons={"lock_timeout": 25})
+    detail = failed(check_invariants(summary), "abort_reasons_bounded")
+    assert "25" in detail and "20" in detail
+
+
+def test_duplicated_commit_rate_mismatch_is_detected():
+    summary = healthy_summary(throughput_tps=51.0)  # committed says 50.0
+    detail = failed(check_invariants(summary), "throughput_accounting")
+    assert "51" in detail and "200" in detail
+
+
+def test_non_recovering_availability_fires_with_the_event_label():
+    summary = healthy_summary()
+    summary.faults = copy.deepcopy(summary.faults)
+    summary.faults["time_to_recover_ms"] = {
+        "datasource_crash(ds1) @2000ms for 1000ms": None}
+    detail = failed(check_invariants(summary), "availability_recovers")
+    assert "datasource_crash(ds1)" in detail
+    assert "never returned" in detail
+
+
+def test_unobservable_baseline_is_a_skip_not_a_violation():
+    summary = healthy_summary()
+    summary.faults = copy.deepcopy(summary.faults)
+    summary.faults["time_to_recover_ms"] = {
+        "datasource_crash(ds1) @2000ms for 1000ms": None}
+    summary.faults["recovery_baseline_tps"] = {
+        "datasource_crash(ds1) @2000ms for 1000ms": 0.0}
+    report = check_invariants(summary)
+    assert report["availability_recovers"]["status"] == "passed"
+
+
+def test_short_post_heal_runway_is_not_a_violation():
+    summary = healthy_summary()
+    summary.faults = copy.deepcopy(summary.faults)
+    # Heal at 5500ms, observed end 6000ms: only half a bucket of runway.
+    summary.faults["plan"][0].update(at_ms=4_500.0, duration_ms=1_000.0)
+    summary.faults["time_to_recover_ms"] = {
+        "datasource_crash(ds1) @4500ms for 1000ms": None}
+    summary.faults["recovery_baseline_tps"] = {
+        "datasource_crash(ds1) @4500ms for 1000ms": 49.0}
+    report = check_invariants(summary)
+    assert report["availability_recovers"]["status"] == "passed"
+
+
+def test_orphaned_prepared_branch_is_detected_with_its_xid():
+    summary = healthy_summary()
+    summary.faults = copy.deepcopy(summary.faults)
+    summary.faults["wal_in_doubt"] = {
+        "prepared_at_end": 2,
+        "orphans": [{"datasource": "ds1", "xid": "dm1-t17.0",
+                     "gid": "dm1-t17", "owner": "dm1"}]}
+    detail = failed(check_invariants(summary), "wal_in_doubt_empty")
+    assert "dm1-t17.0@ds1" in detail
+    assert "no decision" in detail
+
+
+def test_missing_recovery_pass_is_detected():
+    summary = healthy_summary()
+    summary.faults = copy.deepcopy(summary.faults)
+    summary.faults["recoveries"] = []
+    detail = failed(check_invariants(summary), "recovery_completed")
+    assert "datasource_crash" in detail and "no" in detail
+
+
+# ------------------------------------------------------------------ machinery
+def test_checker_crash_is_reported_not_raised():
+    # A summary missing attributes is itself a violation worth surfacing.
+    report = check_invariants(SimpleNamespace())
+    assert any(entry["status"] == "failed"
+               and "checker crashed" in entry["detail"]
+               for entry in report.values()), report
+
+
+def test_registry_is_pluggable():
+    calls = []
+
+    @invariant("test_always_fails", "a probe", applies=lambda s: True)
+    def _probe(summary):
+        calls.append(summary)
+        return "probe detail"
+
+    try:
+        report = check_invariants(healthy_summary())
+        assert report["test_always_fails"] == {"status": "failed",
+                                               "detail": "probe detail"}
+        assert violations(report) == ["test_always_fails: probe detail"]
+        assert calls
+    finally:
+        del INVARIANTS["test_always_fails"]
+
+
+def test_every_catalog_invariant_has_a_description():
+    for inv in INVARIANTS.values():
+        assert inv.description
