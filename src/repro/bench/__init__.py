@@ -8,12 +8,30 @@ The layer is organised as a pipeline:
   serially or across a process pool;
 * ``experiments`` — one thin function per figure that reshapes sweep results
   into the dicts the paper plots;
+* ``cache`` — opt-in per-point result cache keyed on (canonical config hash,
+  seed, engine + kernel fingerprint) that makes killed sweeps resumable;
+* ``figures`` — sanity-checked figure pipeline over the CLI's JSON documents
+  (dict-of-columns data, registered checks, optional matplotlib rendering);
 * ``runner`` / ``report`` — the single-point experiment runner and the
   plain-text tables.
 
 ``python -m repro.bench`` lists and runs registered scenarios from the shell.
 """
 
+from repro.bench.cache import (
+    SweepCache,
+    canonical_repr,
+    config_hash,
+    engine_token,
+)
+from repro.bench.figures import (
+    Figure,
+    FigureCheckError,
+    assert_figure,
+    build_figures,
+    check_figure,
+    emit_figures,
+)
 from repro.bench.parallel import (
     PointResult,
     SweepResult,
@@ -48,10 +66,20 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "ExperimentSummary",
+    "Figure",
+    "FigureCheckError",
     "PerfMetrics",
     "PointResult",
     "SCENARIOS",
+    "SweepCache",
+    "assert_figure",
+    "build_figures",
+    "canonical_repr",
+    "check_figure",
     "compare_to_baseline",
+    "config_hash",
+    "emit_figures",
+    "engine_token",
     "measure_scenario",
     "run_perf",
     "ScenarioSpec",

@@ -15,6 +15,12 @@ compares against the committed ``BENCH_baseline.json``.  Examples::
         --duration-ms 5000 --terminals 16 --workers 4 --output fig5.json
     PYTHONPATH=src python -m repro.bench run load_sweep --workers 2 \\
         --rate-tps 400 --output knee.json
+    PYTHONPATH=src python -m repro.bench run load_sweep --workers 2 \\
+        --cache-dir .repro_cache --resume --output load.json
+    PYTHONPATH=src python -m repro.bench figures load_sweep --workers 2 \\
+        --output-dir figures/
+    PYTHONPATH=src python -m repro.bench figures chaos \\
+        --input chaos_report.json --output-dir figures/
     PYTHONPATH=src python -m repro.bench chaos --sample 10 --workers 2 \\
         --output chaos_report.json
     PYTHONPATH=src python -m repro.bench perf --quick --output BENCH_ci.json
@@ -22,6 +28,16 @@ compares against the committed ``BENCH_baseline.json``.  Examples::
     PYTHONPATH=src python -m repro.bench perf --compare BENCH_a.json BENCH_b.json
     PYTHONPATH=src python -m repro.bench engine
     REPRO_ENGINE=compiled PYTHONPATH=src python -m repro.bench perf --quick
+
+``run --cache-dir DIR`` persists every executed sweep point into a resumable
+result cache; adding ``--resume`` consults the cache first, so a killed sweep
+re-run computes only the missing points and assembles a byte-identical
+document (hits/misses/invalidations are reported in the JSON's ``cache``
+section).  ``figures NAME`` runs (or loads, with ``--input``) a scenario
+document and renders the paper-shaped figures from it — every figure must
+pass its registered sanity checks or nothing is emitted for it and the
+command fails.  PNG rendering needs matplotlib (the ``figures`` optional
+dependency); without it the checked data JSONs are still written.
 
 Measurement runs append one line each to ``BENCH_history.jsonl`` (see
 ``--history`` / ``--no-history``); ``perf --compare`` diffs two BENCH
@@ -39,11 +55,42 @@ import sys
 from typing import List, Optional
 
 from repro.bench import perf as perf_mod
+from repro.bench.cache import DEFAULT_CACHE_DIR, SweepCache
 from repro.bench.parallel import SweepRunner, SweepResult
 from repro.bench.report import registry_markdown, system_capabilities
 from repro.bench.scenarios import SCENARIOS, get_scenario, scenario_names
 from repro.plugins import system_plugins, workload_plugins
 from repro.sim.engine import active_engine, engine_info
+
+
+def _add_sweep_flags(parser: argparse.ArgumentParser,
+                     positional: bool = True) -> None:
+    """The flags shared by ``run`` and ``figures``: overrides + cache."""
+    if positional:
+        parser.add_argument("scenario",
+                            help="registered scenario name (see `list`)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: REPRO_BENCH_WORKERS "
+                             "or serial)")
+    parser.add_argument("--duration-ms", type=float, default=None,
+                        help="override the simulated duration of every point")
+    parser.add_argument("--warmup-ms", type=float, default=None,
+                        help="override the warm-up window of every point")
+    parser.add_argument("--terminals", type=int, default=None,
+                        help="override the client terminal count of every point")
+    parser.add_argument("--rate-tps", type=float, default=None,
+                        help="override the offered arrival rate of every point "
+                             "(open-system scenarios only; collapses the "
+                             "rate_tps axis of load_sweep)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the base RNG seed of every point")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persist every executed point into this sweep "
+                             "cache (created if missing); off by default")
+    parser.add_argument("--resume", action="store_true",
+                        help="consult the cache before running: only missing "
+                             "points are simulated (implies --cache-dir "
+                             f"{DEFAULT_CACHE_DIR} unless given)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -63,23 +110,26 @@ def _build_parser() -> argparse.ArgumentParser:
                              "markdown (the EXPERIMENTS.md registry block)")
 
     run = commands.add_parser("run", help="run one scenario and emit JSON")
-    run.add_argument("scenario", help="registered scenario name (see `list`)")
-    run.add_argument("--workers", type=int, default=None,
-                     help="process-pool size (default: REPRO_BENCH_WORKERS or serial)")
-    run.add_argument("--duration-ms", type=float, default=None,
-                     help="override the simulated duration of every point")
-    run.add_argument("--warmup-ms", type=float, default=None,
-                     help="override the warm-up window of every point")
-    run.add_argument("--terminals", type=int, default=None,
-                     help="override the client terminal count of every point")
-    run.add_argument("--rate-tps", type=float, default=None,
-                     help="override the offered arrival rate of every point "
-                          "(open-system scenarios only; collapses the "
-                          "rate_tps axis of load_sweep)")
-    run.add_argument("--seed", type=int, default=None,
-                     help="override the base RNG seed of every point")
+    _add_sweep_flags(run)
     run.add_argument("--output", default=None,
                      help="write the JSON document here instead of stdout")
+
+    figures = commands.add_parser(
+        "figures", help="run (or load) a scenario document and render the "
+                        "sanity-checked figures derived from it")
+    figures.add_argument("scenario",
+                         help="registered scenario name to run, or any label "
+                              "when --input supplies the document")
+    figures.add_argument("--input", default=None,
+                         help="JSON document from a previous `run`/`chaos` "
+                              "--output instead of running the scenario")
+    figures.add_argument("--output-dir", default="figures",
+                         help="directory for the figure artifacts "
+                              "(default: figures/)")
+    figures.add_argument("--data-only", action="store_true",
+                         help="write only the per-figure data JSONs, even "
+                              "when matplotlib is available")
+    _add_sweep_flags(figures, positional=False)
 
     perf = commands.add_parser(
         "perf", help="time scenarios and compare against the committed baseline")
@@ -189,8 +239,9 @@ def _run_list(args: argparse.Namespace) -> int:
     return status
 
 
-def _result_document(result: SweepResult) -> dict:
-    return {
+def _result_document(result: SweepResult,
+                     cache: Optional[SweepCache] = None) -> dict:
+    document = {
         "scenario": result.sweep_name,
         "engine": active_engine(),
         "workers": result.workers,
@@ -207,14 +258,21 @@ def _result_document(result: SweepResult) -> dict:
             for point in result
         ],
     }
+    if cache is not None:
+        document["cache"] = cache.stats()
+    return document
 
 
-def _run_scenario(args: argparse.Namespace) -> int:
-    try:
-        scenario = get_scenario(args.scenario)
-    except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
-        return 2
+def _make_cache(args: argparse.Namespace) -> Optional[SweepCache]:
+    """The sweep cache the flags ask for, or ``None`` (caching is opt-in)."""
+    if args.cache_dir is None and not args.resume:
+        return None
+    return SweepCache(args.cache_dir or DEFAULT_CACHE_DIR)
+
+
+def _expand_sweep(args: argparse.Namespace):
+    """Build the overridden sweep of ``args.scenario`` (shared run/figures)."""
+    scenario = get_scenario(args.scenario)
     overrides = {"duration_ms": args.duration_ms, "warmup_ms": args.warmup_ms,
                  "terminals": args.terminals, "seed": args.seed,
                  "rate_tps": args.rate_tps}
@@ -233,31 +291,100 @@ def _run_scenario(args: argparse.Namespace) -> int:
         base["arrival__rate_tps"] = base.pop("rate_tps")
     else:
         base.pop("rate_tps", None)
+    sweep = scenario.sweep(axes=axes, **base)
+    # Some scenarios derive these fields per point (fig11b computes the
+    # duration from its phase schedule, fig11a derives the seed from the
+    # repeat axis); tell the user instead of silently ignoring the flag.
+    points = sweep.points()
+    for name, value in base.items():
+        if value is None or "__" in name:  # dotted overrides: no 1:1 field
+            continue
+        if any(getattr(point.config, name) != value for point in points):
+            flag = "--" + name.replace("_", "-")
+            print(f"note: {flag} is recomputed per point by scenario "
+                  f"{scenario.name!r} and was ignored for some points",
+                  file=sys.stderr)
+    return sweep
+
+
+def _execute_scenario(args: argparse.Namespace):
+    """Run ``args.scenario`` with overrides; returns the JSON document."""
+    sweep = _expand_sweep(args)
+    cache = _make_cache(args)
+    result = SweepRunner(max_workers=args.workers, cache=cache,
+                         resume=args.resume).run(sweep)
+    return _result_document(result, cache=cache)
+
+
+def _run_scenario(args: argparse.Namespace) -> int:
     try:
-        sweep = scenario.sweep(axes=axes, **base)
-        # Some scenarios derive these fields per point (fig11b computes the
-        # duration from its phase schedule, fig11a derives the seed from the
-        # repeat axis); tell the user instead of silently ignoring the flag.
-        points = sweep.points()
-        for name, value in base.items():
-            if value is None or "__" in name:  # dotted overrides: no 1:1 field
-                continue
-            if any(getattr(point.config, name) != value for point in points):
-                flag = "--" + name.replace("_", "-")
-                print(f"note: {flag} is recomputed per point by scenario "
-                      f"{scenario.name!r} and was ignored for some points",
-                      file=sys.stderr)
-        result = SweepRunner(max_workers=args.workers).run(sweep)
+        document = _execute_scenario(args)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
     except (AttributeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    document = json.dumps(_result_document(result), indent=2)
+    text = json.dumps(document, indent=2)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(document + "\n")
-        print(f"wrote {len(result)} points to {args.output}", file=sys.stderr)
+            handle.write(text + "\n")
+        print(f"wrote {document['points']} points to {args.output}",
+              file=sys.stderr)
     else:
-        print(document)
+        print(text)
+    return 0
+
+
+def _run_figures(args: argparse.Namespace) -> int:
+    """Derive, check and emit the figures of one scenario document.
+
+    Exit 0 only when every derived figure passed all its sanity checks and
+    was written; any violation is printed with the failing check's message
+    and fails the command — a broken figure never reaches the artifact dir.
+    """
+    from repro.bench.figures import build_figures, emit_figures
+
+    if args.input:
+        try:
+            with open(args.input, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load --input {args.input!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        try:
+            document = _execute_scenario(args)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        except (AttributeError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        figures = build_figures(document)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = emit_figures(figures, args.output_dir,
+                          render=not args.data_only)
+    for entry in report["figures"]:
+        print(f"figure {entry['figure']}: "
+              f"{', '.join(entry['files'])}", file=sys.stderr)
+    if not report["rendered"] and not args.data_only:
+        print("note: matplotlib is not installed (pip install "
+              "'.[figures]'); wrote data JSONs only", file=sys.stderr)
+    if report["violations"]:
+        for violation in report["violations"]:
+            for failure in violation["failures"]:
+                print(f"FIGURE CHECK FAILED [{violation['figure']}]: "
+                      f"{failure}", file=sys.stderr)
+        print(f"{len(report['violations'])} figure(s) failed sanity checks; "
+              f"no artifacts were written for them", file=sys.stderr)
+        return 1
+    print(f"emitted {len(report['figures'])} checked figure(s) to "
+          f"{args.output_dir}", file=sys.stderr)
     return 0
 
 
@@ -458,6 +585,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "figures":
+        return _run_figures(args)
     return _run_scenario(args)
 
 

@@ -1,0 +1,615 @@
+"""Checked figure pipeline: sweep documents → sanity-checked paper figures.
+
+The report layer that turns the JSON documents emitted by ``python -m
+repro.bench run``/``chaos`` into the paper-shaped artifacts: throughput and
+tail-latency knees vs offered load, availability timelines around fault
+windows, fleet scale-out efficiency and the chaos invariant heatmap.
+
+Two deliberate constraints shape the module:
+
+* **No pandas.**  A figure's backing data is a plain dict-of-columns
+  (:class:`Figure.columns`): equal-length lists keyed by column name.  That is
+  all the structure the checks and the renderers need, and it keeps the bench
+  layer dependency-free.
+* **No unchecked artifacts** (the ``df_to_figure`` discipline from
+  data-to-paper): every :class:`Figure` names the sanity checks registered
+  for it — monotone offered-load axis, availability buckets summing to the
+  collector totals, no NaNs, no empty series, complete heatmap grids — and
+  :func:`emit_figures` refuses to write *any* file for a figure whose backing
+  data fails one.  A violation is a loud, actionable message, not a quietly
+  wrong PNG in a paper.
+
+Rendering uses matplotlib when it is installed (the ``figures`` optional
+dependency; CI installs it); without it the pipeline still runs every check
+and writes the per-figure data JSONs, so the checked layer is exercised on
+dependency-free machines too.  ``python -m repro.bench figures`` drives it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+# ----------------------------------------------------------------- the figure
+@dataclass
+class Figure:
+    """One figure: columnar backing data plus everything needed to render it.
+
+    ``columns`` is the dict-of-columns table; ``x``/``y`` name the plotted
+    columns and ``series`` (optional) the column whose distinct values become
+    plot series.  ``checks`` lists registered sanity-check names — all of
+    them must pass before the figure may be emitted.  ``annotations`` carries
+    check parameters and render hints (knee markers, fault windows, expected
+    series, heatmap axes) as plain JSON-serialisable values.
+    """
+
+    name: str
+    title: str
+    kind: str                       # "line" | "timeline" | "heatmap"
+    columns: Dict[str, List[Any]]
+    x: str
+    y: str
+    x_label: str
+    y_label: str
+    series: Optional[str] = None
+    checks: Tuple[str, ...] = ()
+    annotations: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- accessors
+    def n_rows(self) -> int:
+        return len(next(iter(self.columns.values()))) if self.columns else 0
+
+    def series_values(self) -> List[Any]:
+        """Distinct series values, in first-appearance order."""
+        if self.series is None:
+            return []
+        seen: List[Any] = []
+        for value in self.columns.get(self.series, []):
+            if value not in seen:
+                seen.append(value)
+        return seen
+
+    def rows_for(self, series_value: Any) -> List[int]:
+        """Row indices belonging to one series value."""
+        column = self.columns.get(self.series or "", [])
+        return [i for i, value in enumerate(column) if value == series_value]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON artifact written next to the rendered figure."""
+        return {"name": self.name, "title": self.title, "kind": self.kind,
+                "x": self.x, "y": self.y, "x_label": self.x_label,
+                "y_label": self.y_label, "series": self.series,
+                "checks": list(self.checks), "annotations": self.annotations,
+                "columns": self.columns}
+
+
+class FigureCheckError(RuntimeError):
+    """Raised when a figure's backing data fails its sanity checks."""
+
+    def __init__(self, figure_name: str, failures: Sequence[str]):
+        self.figure_name = figure_name
+        self.failures = list(failures)
+        super().__init__(f"figure {figure_name!r} failed "
+                         f"{len(self.failures)} sanity check(s):\n  - "
+                         + "\n  - ".join(self.failures))
+
+
+# ------------------------------------------------------------ check registry
+#: Registered sanity checks: name -> callable returning failure messages.
+FIGURE_CHECKS: Dict[str, Callable[[Figure], List[str]]] = {}
+
+
+def figure_check(name: str):
+    """Register a sanity check under ``name`` (used in ``Figure.checks``)."""
+    def decorator(fn: Callable[[Figure], List[str]]):
+        FIGURE_CHECKS[name] = fn
+        return fn
+    return decorator
+
+
+def check_figure(figure: Figure) -> List[str]:
+    """Run every check the figure names; returns all failure messages."""
+    failures: List[str] = []
+    for name in figure.checks:
+        try:
+            check = FIGURE_CHECKS[name]
+        except KeyError:
+            failures.append(f"check {name!r} is not registered "
+                            f"(known: {sorted(FIGURE_CHECKS)})")
+            continue
+        failures.extend(f"[{name}] {message}" for message in check(figure))
+    return failures
+
+
+def assert_figure(figure: Figure) -> None:
+    """Raise :class:`FigureCheckError` unless every named check passes."""
+    failures = check_figure(figure)
+    if failures:
+        raise FigureCheckError(figure.name, failures)
+
+
+def _is_bad_number(value: Any) -> bool:
+    return isinstance(value, float) and not math.isfinite(value)
+
+
+@figure_check("columns_aligned")
+def _check_columns_aligned(figure: Figure) -> List[str]:
+    """Every column exists, all columns share one nonzero length."""
+    failures = []
+    if not figure.columns:
+        return ["figure has no columns at all"]
+    lengths = {name: len(values) for name, values in figure.columns.items()}
+    if len(set(lengths.values())) > 1:
+        failures.append(f"columns have unequal lengths {lengths}; the "
+                        f"dict-of-columns table must be rectangular")
+    if min(lengths.values()) == 0:
+        failures.append("columns are empty — there is no data to plot")
+    for required in (figure.x, figure.y, *( [figure.series]
+                                            if figure.series else [] )):
+        if required not in figure.columns:
+            failures.append(f"declared column {required!r} is missing from "
+                            f"the data (have {sorted(figure.columns)})")
+    return failures
+
+
+@figure_check("no_nans")
+def _check_no_nans(figure: Figure) -> List[str]:
+    """No NaN/inf anywhere, and no ``None`` in the plotted x/y columns."""
+    failures = []
+    for name, values in figure.columns.items():
+        for i, value in enumerate(values):
+            if _is_bad_number(value):
+                failures.append(f"column {name!r} row {i} is {value!r}; "
+                                f"a non-finite value means the producing run "
+                                f"or reshaping is broken")
+            elif value is None and name in (figure.x, figure.y):
+                failures.append(f"plotted column {name!r} row {i} is None")
+    return failures
+
+
+@figure_check("nonempty_series")
+def _check_nonempty_series(figure: Figure) -> List[str]:
+    """At least one row per expected series (no silently vanished system)."""
+    if figure.series is None:
+        return ["check requires a series column but the figure declares none"]
+    present = figure.series_values()
+    if not present:
+        return [f"series column {figure.series!r} has no values"]
+    expected = figure.annotations.get("expected_series")
+    if expected:
+        missing = [value for value in expected if value not in present]
+        if missing:
+            return [f"expected series {missing} are missing from the data "
+                    f"(present: {present}); a system dropped out of the sweep"]
+    return []
+
+
+@figure_check("monotone_x")
+def _check_monotone_x(figure: Figure) -> List[str]:
+    """Within each series the x axis is strictly increasing.
+
+    The offered-load and time axes must never fold back: a duplicate or
+    out-of-order x value means rows were duplicated, shuffled or merged from
+    incompatible sweeps.
+    """
+    failures = []
+    xs = figure.columns.get(figure.x, [])
+    groups = ([(value, figure.rows_for(value))
+               for value in figure.series_values()]
+              if figure.series else [("all", list(range(len(xs))))])
+    for series_value, rows in groups:
+        for prev, cur in zip(rows, rows[1:]):
+            if not (xs[cur] > xs[prev]):
+                failures.append(
+                    f"series {series_value!r}: x ({figure.x}) is not "
+                    f"strictly increasing at rows {prev}->{cur} "
+                    f"({xs[prev]!r} -> {xs[cur]!r}); rows are duplicated or "
+                    f"out of order")
+                break
+    return failures
+
+
+@figure_check("buckets_sum_to_totals")
+def _check_buckets_sum_to_totals(figure: Figure) -> List[str]:
+    """Timeline buckets account for every counted transaction.
+
+    ``annotations["totals"]`` carries the collector totals of the producing
+    run; the committed/aborted columns must sum to them exactly (the
+    availability buckets start at the warm-up boundary, so measured counters
+    and buckets cover the same window).
+    """
+    totals = figure.annotations.get("totals")
+    if not isinstance(totals, dict):
+        return ["annotations['totals'] (collector totals) is missing — the "
+                "builder must record what the buckets should sum to"]
+    failures = []
+    for column, expected in sorted(totals.items()):
+        got = sum(figure.columns.get(column, []))
+        if got != expected:
+            failures.append(f"column {column!r} sums to {got} but the "
+                            f"collector counted {expected}; buckets are "
+                            f"dropping or double-counting transactions")
+    return failures
+
+
+@figure_check("heatmap_complete")
+def _check_heatmap_complete(figure: Figure) -> List[str]:
+    """The heatmap grid is complete and every cell value is a known status."""
+    rows = figure.annotations.get("rows") or []
+    cols = figure.annotations.get("cols") or []
+    failures = []
+    if not rows or not cols:
+        failures.append("annotations['rows']/'cols' (the grid axes) are "
+                        "missing or empty")
+    expected = len(rows) * len(cols)
+    if expected and figure.n_rows() != expected:
+        failures.append(f"grid has {figure.n_rows()} cells but "
+                        f"{len(rows)}x{len(cols)}={expected} are required; "
+                        f"a scenario/invariant pair is missing or duplicated")
+    allowed = {0.0, 0.5, 1.0}
+    for i, value in enumerate(figure.columns.get(figure.y, [])):
+        if value not in allowed:
+            failures.append(f"cell {i} has status {value!r}; expected one of "
+                            f"{sorted(allowed)} (fail / skipped / passed)")
+            break
+    return failures
+
+
+# ------------------------------------------------------------- figure builders
+_LINE_CHECKS = ("columns_aligned", "no_nans", "nonempty_series", "monotone_x")
+
+
+def load_sweep_figures(document: Dict[str, Any]) -> List[Figure]:
+    """Goodput and p99 vs offered rate, the knee marked per system."""
+    scenario = document.get("scenario", "load_sweep")
+    systems: List[str] = []
+    columns: Dict[str, List[Any]] = {"system": [], "rate_tps": [],
+                                     "goodput_tps": [], "p99_latency_ms": [],
+                                     "drop_rate": []}
+    for row in document.get("rows", []):
+        params = row.get("params", {})
+        if "rate_tps" not in params or row.get("open_loop") is None:
+            continue
+        system = params.get("system", row.get("system"))
+        if system not in systems:
+            systems.append(system)
+        columns["system"].append(system)
+        columns["rate_tps"].append(params["rate_tps"])
+        columns["goodput_tps"].append(row["throughput_tps"])
+        columns["p99_latency_ms"].append(row["p99_latency_ms"])
+        columns["drop_rate"].append(row["open_loop"]["drop_rate"])
+    knees = {}
+    for system in systems:
+        best, best_rate = -1.0, None
+        for i, s in enumerate(columns["system"]):
+            if s == system and columns["goodput_tps"][i] > best:
+                best, best_rate = columns["goodput_tps"][i], columns["rate_tps"][i]
+        knees[system] = {"rate_tps": best_rate, "goodput_tps": best}
+    annotations = {"expected_series": systems, "knees": knees}
+    return [
+        Figure(name=f"{scenario}_goodput", kind="line",
+               title="Goodput vs offered load (knee marked)",
+               columns={k: list(v) for k, v in columns.items()},
+               x="rate_tps", y="goodput_tps", series="system",
+               x_label="offered load (tps)", y_label="goodput (tps)",
+               checks=_LINE_CHECKS, annotations=dict(annotations)),
+        Figure(name=f"{scenario}_p99", kind="line",
+               title="p99 latency vs offered load",
+               columns={k: list(v) for k, v in columns.items()},
+               x="rate_tps", y="p99_latency_ms", series="system",
+               x_label="offered load (tps)", y_label="p99 latency (ms)",
+               checks=_LINE_CHECKS, annotations=dict(annotations)),
+    ]
+
+
+def availability_figures(document: Dict[str, Any]) -> List[Figure]:
+    """Per-second availability timeline around the fault window, per row."""
+    scenario = document.get("scenario", "faults")
+    figures = []
+    for row in document.get("rows", []):
+        faults = row.get("faults")
+        if not faults:
+            continue
+        availability = faults["availability"]
+        series = availability["series"]
+        columns = {"t_s": [bucket[0] / 1000.0 for bucket in series],
+                   "committed": [bucket[1] for bucket in series],
+                   "aborted": [bucket[2] for bucket in series]}
+        label = "_".join(str(value) for value in row.get("params", {}).values()) \
+            or row.get("system", "run")
+        windows = [{"start_s": event["at_ms"] / 1000.0,
+                    "end_s": (event["at_ms"] + event["duration_ms"]) / 1000.0,
+                    "label": event["kind"]}
+                   for event in faults.get("plan", [])]
+        figures.append(Figure(
+            name=f"{scenario}_availability_{label}", kind="timeline",
+            title=f"Availability timeline — {scenario} ({label})",
+            columns=columns, x="t_s", y="committed",
+            x_label="simulated time (s)", y_label="transactions per bucket",
+            checks=("columns_aligned", "no_nans", "monotone_x",
+                    "buckets_sum_to_totals"),
+            annotations={"windows": windows,
+                         "totals": {"committed": row["committed"],
+                                    "aborted": row["aborted"]}}))
+    return figures
+
+
+def fleet_scaleout_figures(document: Dict[str, Any]) -> List[Figure]:
+    """Throughput and scale-out efficiency vs fleet size."""
+    scenario = document.get("scenario", "fleet_scaleout")
+    systems: List[str] = []
+    columns: Dict[str, List[Any]] = {"system": [], "middleware_count": [],
+                                     "throughput_tps": []}
+    for row in document.get("rows", []):
+        params = row.get("params", {})
+        if "middleware_count" not in params:
+            continue
+        system = params.get("system")
+        if system not in systems:
+            systems.append(system)
+        columns["system"].append(system)
+        columns["middleware_count"].append(params["middleware_count"])
+        columns["throughput_tps"].append(row["throughput_tps"])
+    figures = [Figure(
+        name=f"{scenario}_throughput", kind="line",
+        title="Fleet scale-out: throughput vs coordinator count",
+        columns={k: list(v) for k, v in columns.items()},
+        x="middleware_count", y="throughput_tps", series="system",
+        x_label="middlewares (K)", y_label="throughput (tps)",
+        checks=_LINE_CHECKS,
+        annotations={"expected_series": list(systems)})]
+    baselines = {}
+    for i, system in enumerate(columns["system"]):
+        if columns["middleware_count"][i] == 1:
+            baselines[system] = columns["throughput_tps"][i]
+    if baselines:
+        eff: Dict[str, List[Any]] = {"system": [], "middleware_count": [],
+                                     "efficiency": []}
+        for i, system in enumerate(columns["system"]):
+            base = baselines.get(system)
+            if not base:
+                continue
+            k = columns["middleware_count"][i]
+            eff["system"].append(system)
+            eff["middleware_count"].append(k)
+            eff["efficiency"].append(columns["throughput_tps"][i] / (k * base))
+        figures.append(Figure(
+            name=f"{scenario}_efficiency", kind="line",
+            title="Fleet scale-out efficiency (tps(K) / K·tps(1))",
+            columns=eff, x="middleware_count", y="efficiency",
+            series="system", x_label="middlewares (K)",
+            y_label="scale-out efficiency",
+            checks=_LINE_CHECKS,
+            annotations={"expected_series": sorted(baselines)}))
+    return figures
+
+
+#: Invariant status -> heatmap cell value (the only values the check allows).
+_INVARIANT_STATUS = {"failed": 0.0, "skipped": 0.5, "passed": 1.0}
+
+
+def chaos_heatmap_figures(document: Dict[str, Any]) -> List[Figure]:
+    """Scenario×invariant pass/fail heatmap from a ``chaos`` report document."""
+    row_labels: List[str] = []
+    cells: Dict[str, Dict[str, float]] = {}
+    invariant_names: List[str] = []
+    for entry in document.get("results", []):
+        for point in entry.get("points", []):
+            system = point.get("params", {}).get("system", "?")
+            label = f"{entry['scenario']} [{system}]"
+            row_labels.append(label)
+            statuses = point.get("invariants") or {}
+            cells[label] = {}
+            for name, report in statuses.items():
+                if name not in invariant_names:
+                    invariant_names.append(name)
+                cells[label][name] = _INVARIANT_STATUS.get(
+                    report.get("status"), 0.0)
+    columns: Dict[str, List[Any]] = {"scenario": [], "invariant": [],
+                                     "status": []}
+    for label in row_labels:
+        for name in invariant_names:
+            columns["scenario"].append(label)
+            columns["invariant"].append(name)
+            # An invariant missing from a point never ran there: skipped.
+            columns["status"].append(cells[label].get(name, 0.5))
+    return [Figure(
+        name="chaos_invariants", kind="heatmap",
+        title="Chaos matrix: robustness invariants per scenario",
+        columns=columns, x="invariant", y="status", series="scenario",
+        x_label="invariant", y_label="scenario",
+        checks=("columns_aligned", "no_nans", "heatmap_complete"),
+        annotations={"rows": row_labels, "cols": invariant_names})]
+
+
+#: Builder registry in detection order; each predicate inspects the document.
+FIGURE_BUILDERS: Tuple[Tuple[str, Callable[[Dict[str, Any]], bool],
+                             Callable[[Dict[str, Any]], List[Figure]]], ...] = (
+    ("chaos_heatmap",
+     lambda doc: bool(doc.get("results")) and "scenarios_run" in doc,
+     chaos_heatmap_figures),
+    ("load_knee",
+     lambda doc: any(row.get("open_loop") is not None
+                     and "rate_tps" in row.get("params", {})
+                     for row in doc.get("rows", [])),
+     load_sweep_figures),
+    ("fleet_scaleout",
+     lambda doc: any("middleware_count" in row.get("params", {})
+                     for row in doc.get("rows", [])),
+     fleet_scaleout_figures),
+    ("availability",
+     lambda doc: any(row.get("faults") for row in doc.get("rows", [])),
+     availability_figures),
+)
+
+
+def build_figures(document: Dict[str, Any]) -> List[Figure]:
+    """All figures the applicable builders derive from ``document``."""
+    figures: List[Figure] = []
+    for _name, applies, builder in FIGURE_BUILDERS:
+        if applies(document):
+            figures.extend(builder(document))
+    if not figures:
+        raise ValueError(
+            "no figure builder applies to this document; expected a "
+            "`run` document of an open-system, fault, or fleet scenario, "
+            "or a `chaos` report")
+    return figures
+
+
+# ------------------------------------------------------------------ rendering
+def matplotlib_available() -> bool:
+    """True when the optional ``figures`` dependency is importable."""
+    return importlib.util.find_spec("matplotlib") is not None
+
+
+#: Fixed categorical palette (validated colorblind-safe set, light mode) and
+#: the stable system -> slot assignment: a system keeps its color across every
+#: figure and filter, never its rank in one sweep.
+_PALETTE = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100", "#e87ba4",
+            "#008300", "#4a3aa7", "#e34948")
+_SYSTEM_SLOTS = {"geotp": 0, "ssp": 1, "scalardb_plus": 2, "ssp_local": 3,
+                 "scalardb": 4, "quro": 5, "chiller": 6, "yugabyte": 7}
+#: Status colors (reserved; never used for plain series).
+_STATUS_GOOD, _STATUS_BAD, _STATUS_NEUTRAL = "#0ca30c", "#e34948", "#f0efec"
+_INK_PRIMARY, _INK_SECONDARY, _SURFACE = "#0b0b0b", "#52514e", "#fcfcfb"
+
+
+def _series_color(series_value: Any, fallback_index: int) -> str:
+    slot = _SYSTEM_SLOTS.get(str(series_value))
+    if slot is None:
+        slot = fallback_index % len(_PALETTE)
+    return _PALETTE[slot]
+
+
+def _style_axes(ax) -> None:
+    ax.set_facecolor(_SURFACE)
+    ax.grid(True, linewidth=0.6, alpha=0.25)
+    ax.tick_params(colors=_INK_SECONDARY, labelsize=8)
+    for spine in ("top", "right"):
+        ax.spines[spine].set_visible(False)
+    for spine in ("left", "bottom"):
+        ax.spines[spine].set_color(_INK_SECONDARY)
+
+
+def render_figure(figure: Figure, path: Path) -> None:
+    """Render one checked figure to ``path`` with matplotlib (Agg backend)."""
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(6.4, 4.0), dpi=150)
+    fig.patch.set_facecolor(_SURFACE)
+    _style_axes(ax)
+    if figure.kind == "heatmap":
+        self_render = _render_heatmap
+    elif figure.kind == "timeline":
+        self_render = _render_timeline
+    else:
+        self_render = _render_line
+    self_render(figure, ax, plt)
+    ax.set_title(figure.title, color=_INK_PRIMARY, fontsize=10)
+    fig.tight_layout()
+    fig.savefig(path, facecolor=fig.get_facecolor())
+    plt.close(fig)
+
+
+def _render_line(figure: Figure, ax, plt) -> None:
+    xs, ys = figure.columns[figure.x], figure.columns[figure.y]
+    series_values = figure.series_values() or [None]
+    for index, series_value in enumerate(series_values):
+        rows = (figure.rows_for(series_value) if figure.series
+                else list(range(len(xs))))
+        color = _series_color(series_value, index)
+        ax.plot([xs[i] for i in rows], [ys[i] for i in rows],
+                color=color, linewidth=2, marker="o", markersize=6,
+                label=str(series_value))
+        knee = (figure.annotations.get("knees") or {}).get(series_value)
+        if knee and knee.get("rate_tps") is not None \
+                and figure.y == "goodput_tps":
+            ax.plot([knee["rate_tps"]], [knee["goodput_tps"]], marker="o",
+                    markersize=10, markerfacecolor="none",
+                    markeredgecolor=color, markeredgewidth=2)
+    ax.set_xlabel(figure.x_label, color=_INK_SECONDARY, fontsize=9)
+    ax.set_ylabel(figure.y_label, color=_INK_SECONDARY, fontsize=9)
+    if len(series_values) > 1:
+        ax.legend(fontsize=8, frameon=False, labelcolor=_INK_PRIMARY)
+
+
+def _render_timeline(figure: Figure, ax, plt) -> None:
+    xs = figure.columns[figure.x]
+    ax.plot(xs, figure.columns["committed"], color=_PALETTE[0], linewidth=2,
+            marker="o", markersize=6, label="committed")
+    ax.plot(xs, figure.columns["aborted"], color=_STATUS_BAD, linewidth=2,
+            marker="o", markersize=6, label="aborted")
+    for window in figure.annotations.get("windows", []):
+        ax.axvspan(window["start_s"], window["end_s"], color=_INK_SECONDARY,
+                   alpha=0.15, linewidth=0)
+        ax.text(window["start_s"], ax.get_ylim()[1], window["label"],
+                fontsize=7, color=_INK_SECONDARY, va="top")
+    ax.set_xlabel(figure.x_label, color=_INK_SECONDARY, fontsize=9)
+    ax.set_ylabel(figure.y_label, color=_INK_SECONDARY, fontsize=9)
+    ax.legend(fontsize=8, frameon=False, labelcolor=_INK_PRIMARY)
+
+
+def _render_heatmap(figure: Figure, ax, plt) -> None:
+    from matplotlib.colors import BoundaryNorm, ListedColormap
+    from matplotlib.patches import Patch
+
+    rows = figure.annotations["rows"]
+    cols = figure.annotations["cols"]
+    index = {(figure.columns["scenario"][i], figure.columns["invariant"][i]):
+             figure.columns["status"][i] for i in range(figure.n_rows())}
+    grid = [[index[(row, col)] for col in cols] for row in rows]
+    cmap = ListedColormap([_STATUS_BAD, _STATUS_NEUTRAL, _STATUS_GOOD])
+    norm = BoundaryNorm([-0.25, 0.25, 0.75, 1.25], cmap.N)
+    ax.imshow(grid, cmap=cmap, norm=norm, aspect="auto")
+    ax.set_xticks(range(len(cols)), cols, rotation=45, ha="right", fontsize=7)
+    ax.set_yticks(range(len(rows)), rows, fontsize=6)
+    ax.grid(False)
+    ax.legend(handles=[Patch(facecolor=_STATUS_GOOD, label="passed"),
+                       Patch(facecolor=_STATUS_NEUTRAL, label="skipped"),
+                       Patch(facecolor=_STATUS_BAD, label="failed")],
+              fontsize=7, frameon=False, loc="upper left",
+              bbox_to_anchor=(1.01, 1.0))
+
+
+# ------------------------------------------------------------------- emission
+def emit_figures(figures: Sequence[Figure], output_dir: str,
+                 render: bool = True) -> Dict[str, Any]:
+    """Check every figure; write artifacts only for the ones that pass.
+
+    Each passing figure gets its backing data as ``<name>.json`` and — when
+    matplotlib is available and ``render`` is true — a ``<name>.png``.  A
+    failing figure gets *no* files; its failure messages are collected in the
+    returned report's ``violations`` list.  Callers (the CLI, CI) treat a
+    nonempty ``violations`` as a hard failure.
+    """
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    render = render and matplotlib_available()
+    report: Dict[str, Any] = {"rendered": render, "figures": [],
+                              "violations": []}
+    for figure in figures:
+        failures = check_figure(figure)
+        if failures:
+            report["violations"].append({"figure": figure.name,
+                                         "failures": failures})
+            continue
+        files = []
+        data_path = out / f"{figure.name}.json"
+        with open(data_path, "w", encoding="utf-8") as handle:
+            json.dump(figure.to_dict(), handle, indent=2)
+            handle.write("\n")
+        files.append(str(data_path))
+        if render:
+            png_path = out / f"{figure.name}.png"
+            render_figure(figure, png_path)
+            files.append(str(png_path))
+        report["figures"].append({"figure": figure.name, "checks":
+                                  list(figure.checks), "files": files})
+    return report

@@ -213,6 +213,75 @@ def determinism_document(name: str = "default") -> Dict[str, Any]:
             "identical": first == second, "first": first, "second": second}
 
 
+def resume_sweep():
+    """A 2×2 mini ``load_sweep`` (two systems × two rates) at smoke scale.
+
+    Small enough to run twice in a test, but a real open-system sweep: the
+    resume check below uses it to prove an interrupted-then-resumed sweep is
+    byte-identical to an uninterrupted one.
+    """
+    from repro.bench.scenarios import get_scenario
+
+    return get_scenario("load_sweep").sweep(
+        axes={"system": ["geotp", "ssp"], "rate_tps": [160.0, 320.0]},
+        duration_ms=1_500.0, warmup_ms=300.0,
+        ycsb__records_per_node=1_000, ycsb__preload_rows_per_node=200,
+        arrival__max_clients=64)
+
+
+def _sweep_payload(result) -> List[Dict[str, Any]]:
+    """The deterministic comparison payload of a sweep result.
+
+    Per-point params plus the default (environment-free) summary dict — the
+    fields that must be byte-identical whether a point was simulated now or
+    restored from the cache; wall-clock and RSS legitimately differ.
+    """
+    return [{"params": point.params, **point.summary.to_dict()}
+            for point in result]
+
+
+def resume_document(cache_dir: Optional[str] = None,
+                    interrupt_after: int = 2) -> Dict[str, Any]:
+    """The ``resume`` subcommand's JSON document, built in-process.
+
+    Simulates the kill-and-resume workflow end to end: run the mini sweep
+    uncached, then execute only its first ``interrupt_after`` points into a
+    cache (exactly what a killed ``--cache-dir`` run leaves behind), then run
+    the full sweep with ``resume=True`` against that cache.  The document
+    reports whether the resumed result is byte-identical to the fresh one and
+    how many points were served from cache vs simulated — the resumed run
+    must execute exactly ``points - interrupt_after`` simulations.
+    """
+    import tempfile
+
+    from repro.bench.cache import SweepCache
+    from repro.bench.parallel import SweepRunner, run_sweep_point
+
+    fresh = SweepRunner().run(resume_sweep())
+    with tempfile.TemporaryDirectory() as scratch:
+        directory = cache_dir or scratch
+        interrupted = SweepCache(directory)
+        sweep = resume_sweep()
+        for point in sweep.points()[:interrupt_after]:
+            interrupted.store(sweep.name, point, run_sweep_point(point))
+        cache = SweepCache(directory)
+        resumed = SweepRunner(cache=cache, resume=True).run(resume_sweep())
+    fresh_payload = json.dumps(_sweep_payload(fresh), sort_keys=True)
+    resumed_payload = json.dumps(_sweep_payload(resumed), sort_keys=True)
+    return {
+        "engine": active_engine(),
+        "name": "load_sweep_mini",
+        "points": len(fresh),
+        "interrupt_after": interrupt_after,
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "invalidations": cache.invalidations,
+        "identical": fresh_payload == resumed_payload,
+        "fresh_sha256": hashlib.sha256(fresh_payload.encode()).hexdigest(),
+        "resumed_sha256": hashlib.sha256(resumed_payload.encode()).hexdigest(),
+    }
+
+
 def equivalence_document(reference_path: str,
                          case_names: Optional[List[str]] = None
                          ) -> Dict[str, Any]:
@@ -246,6 +315,10 @@ def _cmd_equivalence(args: argparse.Namespace) -> Dict[str, Any]:
     return equivalence_document(args.reference, args.cases)
 
 
+def _cmd_resume(args: argparse.Namespace) -> Dict[str, Any]:
+    return resume_document(args.cache_dir, args.interrupt_after)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.goldens",
@@ -272,6 +345,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                              help="subset of registered case names "
                                   "(default: all)")
     equivalence.set_defaults(fn=_cmd_equivalence)
+
+    resume = commands.add_parser(
+        "resume", help="prove interrupted+resumed sweep == fresh sweep "
+                       "(byte-identical) under this process's engine")
+    resume.add_argument("--cache-dir", default=None,
+                        help="cache directory (default: a temp dir)")
+    resume.add_argument("--interrupt-after", type=int, default=2,
+                        help="points the 'killed' run completed (default 2)")
+    resume.set_defaults(fn=_cmd_resume)
 
     args = parser.parse_args(argv)
     try:

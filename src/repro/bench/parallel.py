@@ -27,6 +27,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.bench.cache import SweepCache
 from repro.bench.runner import ExperimentSummary, run_experiment
 from repro.bench.scenarios import SweepPoint, SweepSpec
 
@@ -68,6 +69,13 @@ class SweepResult:
     results: List[PointResult]
     wall_clock_s: float
     workers: int = 1
+    #: Sweep-cache accounting of this run (all zero without a cache): points
+    #: served from cache, points actually simulated, and stale/corrupt
+    #: entries that were discarded.  ``hits + misses == len(results)`` when a
+    #: resume consulted the cache.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
 
     def __post_init__(self) -> None:
         self.results = sorted(self.results, key=lambda r: r.index)
@@ -114,10 +122,21 @@ def run_sweep_point(point: SweepPoint) -> PointResult:
 
 
 class SweepRunner:
-    """Expands a sweep into points and executes them, serially or in parallel."""
+    """Expands a sweep into points and executes them, serially or in parallel.
 
-    def __init__(self, max_workers: Optional[int] = None):
+    With a :class:`~repro.bench.cache.SweepCache` attached, every executed
+    point is persisted as soon as its result arrives (so a killed sweep keeps
+    everything it finished), and ``resume=True`` additionally consults the
+    cache *before* dispatching — only the missing points are simulated, and
+    the assembled :class:`SweepResult` is byte-identical to an uncached run
+    because cached summaries are the pickled originals.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 cache: Optional[SweepCache] = None, resume: bool = False):
         self.max_workers = resolve_worker_count(max_workers)
+        self.cache = cache
+        self.resume = resume and cache is not None
 
     def run(self, sweep: SweepSpec) -> SweepResult:
         """Run every point of ``sweep`` and return the ordered results.
@@ -127,22 +146,66 @@ class SweepRunner:
         """
         points = sweep.points()
         started = time.perf_counter()
-        if self.max_workers <= 1 or len(points) <= 1:
-            results, used_workers = [run_sweep_point(p) for p in points], 1
+        cached: List[PointResult] = []
+        pending = points
+        if self.resume:
+            assert self.cache is not None
+            pending = []
+            for point in points:
+                hit = self.cache.lookup(sweep.name, point)
+                if hit is not None:
+                    cached.append(hit)
+                else:
+                    pending.append(point)
+        if self.max_workers <= 1 or len(pending) <= 1:
+            # Cache-less runs keep the exact pre-cache call shape: no wrapper
+            # frame in the hot path (the perf profiles pin the kernel frames
+            # in their top rows, and an extra near-total-cumtime frame would
+            # displace one).
+            if self.cache is None:
+                computed = [run_sweep_point(p) for p in pending]
+            else:
+                computed = [self._run_and_store(sweep.name, p)
+                            for p in pending]
+            used_workers = 1
         else:
-            results, used_workers = self._run_parallel(points)
-        return SweepResult(sweep_name=sweep.name, results=results,
+            computed, used_workers = self._run_parallel(sweep.name, pending)
+        cache_stats = self.cache.stats() if self.cache is not None else {}
+        return SweepResult(sweep_name=sweep.name, results=cached + computed,
                            wall_clock_s=time.perf_counter() - started,
-                           workers=used_workers)
+                           workers=used_workers,
+                           cache_hits=cache_stats.get("hits", 0),
+                           cache_misses=cache_stats.get("misses", 0),
+                           cache_invalidations=cache_stats.get(
+                               "invalidations", 0))
 
-    def _run_parallel(self, points: List[SweepPoint]):
+    def _run_and_store(self, sweep_name: str, point: SweepPoint) -> PointResult:
+        result = run_sweep_point(point)
+        if self.cache is not None:
+            # Points not routed through lookup() (cache attached without
+            # --resume) still count as misses: they were simulated.
+            if not self.resume:
+                self.cache.misses += 1
+            self.cache.store(sweep_name, point, result)
+        return result
+
+    def _run_parallel(self, sweep_name: str, points: List[SweepPoint]):
         workers = min(self.max_workers, len(points))
         completed: List[PointResult] = []
+        by_index = {point.index: point for point in points}
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [pool.submit(run_sweep_point, point) for point in points]
                 for future in as_completed(futures):
-                    completed.append(future.result())
+                    result = future.result()
+                    if self.cache is not None:
+                        # Persist as results arrive, not at sweep end: a
+                        # killed run keeps every finished point.
+                        if not self.resume:
+                            self.cache.misses += 1
+                        self.cache.store(sweep_name, by_index[result.index],
+                                         result)
+                    completed.append(result)
             return completed, workers
         except (BrokenProcessPool, OSError, PermissionError) as exc:
             if completed:
@@ -152,7 +215,8 @@ class SweepRunner:
                 raise
             warnings.warn(f"process pool unavailable ({exc!r}); "
                           f"falling back to serial execution", RuntimeWarning)
-            return [run_sweep_point(point) for point in points], 1
+            return [self._run_and_store(sweep_name, point)
+                    for point in points], 1
 
 
 def run_scenario_sweep(sweep: SweepSpec,

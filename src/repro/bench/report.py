@@ -14,7 +14,9 @@ from typing import Iterable, List, Sequence, Tuple
 
 def _format_cell(value) -> str:
     if isinstance(value, float):
-        if value >= 100:
+        # Magnitude, not signed value: -12345.6 needs the compact one-decimal
+        # form just as much as 12345.6 does.
+        if abs(value) >= 100:
             return f"{value:.1f}"
         return f"{value:.2f}"
     return str(value)

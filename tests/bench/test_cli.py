@@ -125,3 +125,54 @@ def test_missing_arguments_exit_with_usage_error(argv):
     with pytest.raises(SystemExit) as excinfo:
         main(argv)
     assert excinfo.value.code == 2
+
+
+def test_run_without_cache_flags_reports_no_cache_section(capsys):
+    assert main(["run", "smoke"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert "cache" not in document
+
+
+def test_run_cache_dir_records_and_resume_replays(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["run", "smoke", "--cache-dir", cache_dir]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["cache"]["hits"] == 0
+    assert first["cache"]["misses"] == first["points"]
+
+    assert main(["run", "smoke", "--cache-dir", cache_dir, "--resume"]) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["cache"]["hits"] == second["points"]
+    assert second["cache"]["misses"] == 0
+    assert second["cache"]["invalidations"] == 0
+    # The replayed rows are byte-identical up to per-run environment fields.
+    strip = lambda doc: [
+        {key: value for key, value in row.items()
+         if key not in ("wall_clock_s", "peak_rss_bytes")}
+        for row in doc["rows"]]
+    assert json.dumps(strip(first), sort_keys=True) \
+        == json.dumps(strip(second), sort_keys=True)
+
+
+def test_run_resume_alone_defaults_the_cache_dir(tmp_path, capsys,
+                                                 monkeypatch):
+    from repro.bench.cache import DEFAULT_CACHE_DIR
+
+    monkeypatch.chdir(tmp_path)
+    assert main(["run", "smoke", "--resume"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["cache"]["dir"] == DEFAULT_CACHE_DIR
+    assert (tmp_path / DEFAULT_CACHE_DIR / "smoke").is_dir()
+
+
+def test_run_resume_recomputes_after_config_change(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["run", "smoke", "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    # A different duration changes the config hash: nothing may be replayed.
+    assert main(["run", "smoke", "--cache-dir", cache_dir, "--resume",
+                 "--duration-ms", "900"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["cache"]["hits"] == 0
+    assert document["cache"]["misses"] == document["points"]
+    assert document["cache"]["invalidations"] == document["points"]

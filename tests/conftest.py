@@ -83,6 +83,12 @@ def run_goldens(engine: str, *cli_args: str) -> Dict[str, Any]:
             cases = (rest[rest.index("--cases") + 1:]
                      if "--cases" in rest else None)
             document = goldens.equivalence_document(reference, cases)
+        elif command == "resume":
+            cache_dir = (rest[rest.index("--cache-dir") + 1]
+                         if "--cache-dir" in rest else None)
+            interrupt_after = (int(rest[rest.index("--interrupt-after") + 1])
+                               if "--interrupt-after" in rest else 2)
+            document = goldens.resume_document(cache_dir, interrupt_after)
         else:
             raise ValueError(f"unknown goldens command {command!r}")
         # Round-trip through JSON so both paths compare identically typed
